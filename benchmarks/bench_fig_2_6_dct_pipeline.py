@@ -1,0 +1,37 @@
+"""Figure 2-6 — the DCT current-to-potential apply pipeline.
+
+Times a single operator application for the FFT-based path and the cached
+cosine-matrix path, and checks they agree.  (The figure itself is a schematic;
+the quantity of interest is that the eigendecomposition apply is cheap, which
+underpins Table 2.2.)
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PanelGrid, regular_grid
+from repro.substrate import SubstrateProfile
+from repro.substrate.bem import SurfaceOperator
+
+from common import write_result
+
+
+@pytest.mark.benchmark(group="fig-2.6")
+@pytest.mark.parametrize("panels", [64, 128])
+def test_fig_2_6_operator_apply(benchmark, panels):
+    layout = regular_grid(n_side=16, size=128.0, fill=0.5)
+    profile = SubstrateProfile.two_layer_example(size=128.0, resistive_bottom=True)
+    grid = PanelGrid(layout, panels, panels)
+    op_fft = SurfaceOperator(grid, profile, use_fft=True)
+    op_mat = SurfaceOperator(grid, profile, use_fft=False)
+    rng = np.random.default_rng(0)
+    q = rng.standard_normal((panels, panels))
+
+    assert np.allclose(op_fft.apply_grid(q), op_mat.apply_grid(q), rtol=1e-9, atol=1e-12)
+    result = benchmark(op_fft.apply_grid, q)
+    write_result(
+        f"fig_2_6_dct_pipeline_{panels}",
+        [f"Figure 2-6 pipeline: one {panels}x{panels} panel operator apply",
+         "FFT path and cosine-matrix path agree to 1e-9 relative."],
+    )
+    assert result.shape == (panels, panels)

@@ -1,0 +1,45 @@
+"""Figure 4-3 — singular values of self versus well-separated interactions.
+
+Paper: the self-interaction block of a square of contacts has slowly decaying
+singular values while the block coupling it to a well-separated square decays
+extremely fast (this is what makes the low-rank method work).  The benchmark
+computes both spectra on the two-cluster layout of Figure 4-2.
+"""
+
+import numpy as np
+import pytest
+
+from repro.experiments import singular_value_decay_experiment
+from repro.geometry import two_square_clusters
+from repro.substrate import SubstrateProfile, extract_dense
+from repro.substrate.bem import EigenfunctionSolver
+
+from common import write_result
+
+
+@pytest.mark.benchmark(group="fig-4.3")
+def test_fig_4_3_singular_value_decay(benchmark):
+    layout = two_square_clusters(size=64.0, n_per_cluster=25, separation_cells=3)
+    profile = SubstrateProfile.two_layer_example(size=64.0, resistive_bottom=True)
+    solver = EigenfunctionSolver(layout, profile, max_panels=128)
+    g = extract_dense(solver, symmetrize=True)
+    source = np.arange(25)
+    destination = np.arange(25, 50)
+
+    spectra = benchmark.pedantic(
+        singular_value_decay_experiment,
+        args=(layout, g, source, destination),
+        iterations=1,
+        rounds=1,
+    )
+    s_self = spectra["self"] / spectra["self"][0]
+    s_far = spectra["separated"] / spectra["separated"][0]
+    lines = ["Figure 4-3 — normalised singular values (self vs well-separated block)",
+             f"{'k':>3s} {'self':>12s} {'separated':>12s}"]
+    for k in range(min(12, s_self.size)):
+        lines.append(f"{k:>3d} {s_self[k]:>12.3e} {s_far[k]:>12.3e}")
+    write_result("fig_4_3_singular_values", lines)
+
+    # the separated interaction is numerically low-rank, the self block is not
+    assert s_far[5] < 1e-3
+    assert s_self[5] > 1e-3

@@ -1,0 +1,39 @@
+"""Table 2.2 — solve speed: finite-difference versus eigenfunction solver.
+
+Paper: 7.0 iterations and 3.8 s per solve for finite difference versus 6.0
+iterations and 0.4 s for the eigenfunction approach (about 10x faster).  The
+benchmark reproduces the comparison (absolute times differ; the eigenfunction
+solver should win clearly).
+"""
+
+import pytest
+
+from repro.experiments import get_example, run_solver_speed_table
+
+from common import bench_n_side, write_result
+
+
+@pytest.mark.benchmark(group="table-2.2")
+def test_table_2_2_solver_speed(benchmark):
+    config = get_example("1a", n_side=bench_n_side())
+    config.fd_resolution = (64, 64)
+    config.fd_planes_per_layer = (2, 5, 2)
+
+    rows = benchmark.pedantic(
+        run_solver_speed_table, args=(config,), kwargs={"n_solves": 5}, iterations=1, rounds=1
+    )
+    lines = ["Table 2.2 — solve speed, finite difference vs eigenfunction",
+             f"{'solver':<20s} {'iterations/solve':>18s} {'time/solve':>12s}"]
+    by_name = {}
+    for row in rows:
+        by_name[row["solver"]] = row
+        lines.append(
+            f"{row['solver']:<20s} {row['mean_iterations']:>18.1f} "
+            f"{1e3 * row['time_per_solve_s']:>10.1f}ms"
+        )
+    write_result("table_2_2_solver_speed", lines)
+
+    assert (
+        by_name["eigenfunction"]["time_per_solve_s"]
+        < by_name["finite difference"]["time_per_solve_s"]
+    )

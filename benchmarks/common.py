@@ -1,0 +1,38 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+printed and also written to ``benchmarks/results/<name>.txt`` so EXPERIMENTS.md
+can reference them.  The problem scale defaults to 16 contacts per side
+(256 contacts); set ``REPRO_BENCH_NSIDE=32`` to run at the paper's scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_n_side(default: int = 16) -> int:
+    """Contacts per side used by the benchmarks (env: REPRO_BENCH_NSIDE)."""
+    return int(os.environ.get("REPRO_BENCH_NSIDE", default))
+
+
+def write_result(name: str, lines: list[str]) -> str:
+    """Print a result table and persist it under benchmarks/results/."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = "\n".join(lines) + "\n"
+    (RESULTS_DIR / f"{name}.txt").write_text(text)
+    print("\n" + text)
+    return text
+
+
+def format_report_row(label: str, report) -> str:
+    return (
+        f"{label:<34s} n={report.n_contacts:5d}  sparsity={report.sparsity_factor:7.1f}  "
+        f"Qsparsity={report.q_sparsity_factor:6.1f}  "
+        f"maxrel={100 * report.max_relative_error:8.2f}%  "
+        f">10%={100 * report.fraction_above_10pct:6.2f}%  "
+        f"solves={report.n_solves:5d}  reduction={report.solve_reduction_factor:5.1f}x"
+    )

@@ -1,0 +1,98 @@
+"""Mixed-signal substrate noise coupling with a sparsified substrate macromodel.
+
+The scenario the paper's introduction motivates: a digital block injects
+switching noise into the substrate and a sensitive analog node picks it up.
+This example
+
+1. builds a layout with a digital contact cluster, an analog sense contact and
+   a grounded guard ring between them,
+2. extracts the substrate conductance matrix and its sparsified form,
+3. stamps the substrate into a small circuit (driver resistance, analog load,
+   guard-ring ground strap) and solves the DC noise transfer with the dense
+   block and with the sparsified operator, and
+4. shows the guard ring's effect by re-solving with the ring left floating.
+
+Run with:  python examples/mixed_signal_noise.py
+"""
+
+import numpy as np
+
+from repro import EigenfunctionSolver, extract_dense
+from repro.circuits import Circuit, MNASolver, SubstrateMacromodel
+from repro.core import WaveletSparsifier
+from repro.geometry import Contact, ContactLayout, SquareHierarchy, ring_contact
+from repro.substrate import DenseMatrixSolver, Layer, SubstrateProfile
+
+
+def build_layout() -> tuple[ContactLayout, list[str]]:
+    """Digital cluster (left), guard ring (centre), analog contact (right)."""
+    size = 128.0
+    contacts: list[Contact] = []
+    names: list[str] = []
+
+    # digital block: 3 x 3 cluster of switching contacts
+    for j in range(3):
+        for i in range(3):
+            contacts.append(Contact(8.0 + 10.0 * i, 48.0 + 10.0 * j, 6.0, 6.0))
+            names.append("dig")
+
+    # guard ring around the middle of the die
+    for piece in ring_contact(52.0, 44.0, outer=24.0, thickness=3.0, name="guard"):
+        for sub in piece.split_at_gridlines(8.0):
+            contacts.append(sub)
+            names.append("guard")
+
+    # analog sense contact on the right
+    contacts.append(Contact(100.0, 58.0, 8.0, 8.0))
+    names.append("ana")
+
+    return ContactLayout(contacts, size, size), names
+
+
+def solve(macromodel: SubstrateMacromodel, guard_grounded: bool, sparsified: bool) -> float:
+    ckt = Circuit()
+    ckt.add_voltage_source("vnoise", "0", 1.0, name="Vnoise")
+    ckt.add_resistor("vnoise", "dig", 25.0)     # digital driver impedance
+    ckt.add_resistor("ana", "0", 10_000.0)      # analog node load
+    if guard_grounded:
+        ckt.add_resistor("guard", "0", 0.5)     # guard ring ground strap
+    ckt.add_substrate(macromodel)
+    solver = MNASolver(ckt)
+    sol = solver.solve_sparsified() if sparsified else solver.solve_dense()
+    return sol.voltage("ana")
+
+
+def main() -> None:
+    layout, names = build_layout()
+    # a lightly doped (high-resistivity) substrate with a floating backplane:
+    # the regime where surface guard rings are effective
+    profile = SubstrateProfile(128.0, 128.0, [Layer(40.0, 1.0)], grounded_backplane=False)
+    print(f"layout: {layout.n_contacts} contacts "
+          f"({names.count('dig')} digital, {names.count('guard')} guard, 1 analog)")
+
+    solver = EigenfunctionSolver(layout, profile, max_panels=128)
+    g = extract_dense(solver, symmetrize=True)
+
+    hierarchy = SquareHierarchy(layout, max_level=4, strict_containment=False)
+    rep = WaveletSparsifier(hierarchy, order=2).extract(DenseMatrixSolver(g, layout))
+    print(f"sparsified substrate model: sparsity {rep.sparsity_factor():.1f}x, "
+          f"{rep.nnz_gw} nonzeros vs {g.size} dense entries")
+
+    dense_model = SubstrateMacromodel(names, dense=g)
+    sparse_model = SubstrateMacromodel(names, sparsified=rep)
+
+    v_dense = solve(dense_model, guard_grounded=True, sparsified=False)
+    v_sparse = solve(sparse_model, guard_grounded=True, sparsified=True)
+    v_noguard = solve(dense_model, guard_grounded=False, sparsified=False)
+
+    print("\nanalog node noise for 1 V digital switching step:")
+    print(f"  dense substrate model, guard grounded : {1e3 * v_dense:8.3f} mV")
+    print(f"  sparsified model,      guard grounded : {1e3 * v_sparse:8.3f} mV "
+          f"({100 * abs(v_sparse - v_dense) / abs(v_dense):.2f}% off)")
+    print(f"  dense substrate model, guard floating : {1e3 * v_noguard:8.3f} mV")
+    print(f"\ngrounding the guard ring suppresses the coupled noise by "
+          f"{v_noguard / v_dense:.1f}x on this lightly doped substrate")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,51 @@
+"""repro: fast extraction and sparsification of substrate coupling.
+
+Reproduction of Kanapka, Phillips, White (DAC 2000) / Kanapka's MIT thesis:
+black-box substrate solvers (finite-difference and eigenfunction-based), the
+wavelet (vanishing-moment) sparsification of Chapter 3 and the low-rank
+sparsification of Chapter 4, with the combine-solves technique that reduces
+the number of black-box solves from ``n`` to ``O(log n)``.
+"""
+
+from .geometry import (
+    Contact,
+    ContactLayout,
+    PanelGrid,
+    SquareHierarchy,
+    alternating_size_grid,
+    irregular_same_size,
+    mixed_shapes,
+    regular_grid,
+)
+from .substrate import (
+    CountingSolver,
+    DenseMatrixSolver,
+    Layer,
+    SubstrateProfile,
+    SubstrateSolver,
+    extract_dense,
+)
+from .substrate.bem import EigenfunctionSolver
+from .substrate.fd import FiniteDifferenceSolver
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Contact",
+    "ContactLayout",
+    "PanelGrid",
+    "SquareHierarchy",
+    "regular_grid",
+    "irregular_same_size",
+    "alternating_size_grid",
+    "mixed_shapes",
+    "Layer",
+    "SubstrateProfile",
+    "SubstrateSolver",
+    "CountingSolver",
+    "DenseMatrixSolver",
+    "EigenfunctionSolver",
+    "FiniteDifferenceSolver",
+    "extract_dense",
+    "__version__",
+]

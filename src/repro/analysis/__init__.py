@@ -1,0 +1,21 @@
+"""Accuracy/sparsity metrics and sparsity-pattern (spy) utilities."""
+
+from .metrics import (
+    AccuracyReport,
+    evaluate_against_columns,
+    evaluate_against_dense,
+    fraction_above,
+    max_relative_error,
+    naive_threshold_sparsity,
+    relative_error_matrix,
+)
+
+__all__ = [
+    "AccuracyReport",
+    "evaluate_against_dense",
+    "evaluate_against_columns",
+    "relative_error_matrix",
+    "max_relative_error",
+    "fraction_above",
+    "naive_threshold_sparsity",
+]

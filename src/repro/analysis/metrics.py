@@ -1,0 +1,162 @@
+"""Accuracy and sparsity metrics used in the paper's tables.
+
+The paper reports, for each example and method (Tables 3.1, 4.1, 4.2, 4.3):
+
+* the sparsity factor of ``Gw`` (``n^2 / nnz``),
+* the maximum entrywise relative error of ``Q Gw Q'`` versus the exact ``G``,
+* the fraction of entries whose relative error exceeds 10% (thresholded case),
+* the solve-reduction factor (``n`` / number of black-box solves).
+
+For the largest examples the error is estimated on a random sample of columns
+of ``G`` (Section 4.6).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..core.sparsified import SparsifiedConductance
+
+__all__ = [
+    "relative_error_matrix",
+    "max_relative_error",
+    "fraction_above",
+    "AccuracyReport",
+    "evaluate_against_dense",
+    "evaluate_against_columns",
+    "naive_threshold_sparsity",
+]
+
+
+def relative_error_matrix(approx: np.ndarray, exact: np.ndarray) -> np.ndarray:
+    """Entrywise ``|approx - exact| / |exact|`` (paper's error measure).
+
+    Entries where ``exact`` is exactly zero are measured against the largest
+    magnitude of ``exact`` instead, so the result is always finite.
+    """
+    approx = np.asarray(approx, dtype=float)
+    exact = np.asarray(exact, dtype=float)
+    denom = np.abs(exact)
+    fallback = denom.max() if denom.size else 1.0
+    denom = np.where(denom > 0, denom, fallback if fallback > 0 else 1.0)
+    return np.abs(approx - exact) / denom
+
+
+def max_relative_error(approx: np.ndarray, exact: np.ndarray) -> float:
+    """Maximum entrywise relative error."""
+    return float(relative_error_matrix(approx, exact).max())
+
+
+def fraction_above(
+    approx: np.ndarray, exact: np.ndarray, threshold: float = 0.10
+) -> float:
+    """Fraction of entries with relative error above ``threshold``."""
+    err = relative_error_matrix(approx, exact)
+    return float(np.count_nonzero(err > threshold) / err.size)
+
+
+@dataclass
+class AccuracyReport:
+    """Sparsity/accuracy summary for one representation against a reference."""
+
+    method: str
+    n_contacts: int
+    sparsity_factor: float
+    q_sparsity_factor: float
+    max_relative_error: float
+    fraction_above_10pct: float
+    n_solves: int
+    solve_reduction_factor: float
+
+    def as_dict(self) -> dict[str, float | int | str]:
+        return {
+            "method": self.method,
+            "n_contacts": self.n_contacts,
+            "sparsity_factor": self.sparsity_factor,
+            "q_sparsity_factor": self.q_sparsity_factor,
+            "max_relative_error": self.max_relative_error,
+            "fraction_above_10pct": self.fraction_above_10pct,
+            "n_solves": self.n_solves,
+            "solve_reduction_factor": self.solve_reduction_factor,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"{self.method:>24s}  n={self.n_contacts:5d}  "
+            f"sparsity={self.sparsity_factor:7.1f}  "
+            f"maxrel={100 * self.max_relative_error:7.2f}%  "
+            f">10%={100 * self.fraction_above_10pct:6.2f}%  "
+            f"solves={self.n_solves:5d}  "
+            f"reduction={self.solve_reduction_factor:5.1f}x"
+        )
+
+
+def evaluate_against_dense(
+    rep: SparsifiedConductance, g_exact: np.ndarray
+) -> AccuracyReport:
+    """Full accuracy report versus an explicitly known dense ``G``."""
+    approx = rep.to_dense()
+    return AccuracyReport(
+        method=rep.method,
+        n_contacts=rep.n_contacts,
+        sparsity_factor=rep.sparsity_factor(),
+        q_sparsity_factor=rep.q_sparsity_factor(),
+        max_relative_error=max_relative_error(approx, g_exact),
+        fraction_above_10pct=fraction_above(approx, g_exact),
+        n_solves=rep.n_solves,
+        solve_reduction_factor=rep.solve_reduction_factor(),
+    )
+
+
+def evaluate_against_columns(
+    rep: SparsifiedConductance, columns: np.ndarray, g_columns: np.ndarray
+) -> AccuracyReport:
+    """Accuracy report from a sample of exact columns of ``G`` (Table 4.3).
+
+    Parameters
+    ----------
+    columns:
+        Indices of the sampled columns.
+    g_columns:
+        ``(n, len(columns))`` exact columns of ``G``.
+    """
+    columns = np.asarray(columns, dtype=int)
+    basis = np.zeros((rep.n_contacts, columns.size))
+    basis[columns, np.arange(columns.size)] = 1.0
+    approx = rep.matmat(basis)
+    return AccuracyReport(
+        method=rep.method,
+        n_contacts=rep.n_contacts,
+        sparsity_factor=rep.sparsity_factor(),
+        q_sparsity_factor=rep.q_sparsity_factor(),
+        max_relative_error=max_relative_error(approx, g_columns),
+        fraction_above_10pct=fraction_above(approx, g_columns),
+        n_solves=rep.n_solves,
+        solve_reduction_factor=rep.solve_reduction_factor(),
+    )
+
+
+def naive_threshold_sparsity(
+    g_exact: np.ndarray, max_relative_error_allowed: float = 0.10
+) -> float:
+    """Sparsity achievable by thresholding ``G`` directly in the standard basis.
+
+    The baseline the paper argues against (Section 5.1: both methods "work
+    better than the naive method of simply thresholding away small entries in
+    the original G").  Returns the best sparsity factor such that every
+    dropped entry has relative error 1 (dropped) only if it is smaller than
+    ``max_relative_error_allowed`` would allow — i.e. entries can only be
+    dropped if dropping them is within the error budget, which for a relative
+    measure means no entry can be dropped at all; the function therefore
+    reports the sparsity for dropping entries smaller than
+    ``max_relative_error_allowed`` times the largest off-diagonal magnitude,
+    the natural absolute-threshold baseline.
+    """
+    g = np.asarray(g_exact, dtype=float)
+    n = g.shape[0]
+    off = np.abs(g - np.diag(np.diag(g)))
+    cutoff = max_relative_error_allowed * off.max()
+    nnz = int(np.count_nonzero(np.abs(g) >= cutoff))
+    return n * n / max(nnz, 1)

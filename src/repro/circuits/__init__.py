@@ -1,0 +1,22 @@
+"""Minimal DC circuit simulation with substrate macromodels (Section 1.1)."""
+
+from .mna import DCSolution, MNASolver
+from .netlist import (
+    GROUND,
+    Circuit,
+    CurrentSource,
+    Resistor,
+    SubstrateMacromodel,
+    VoltageSource,
+)
+
+__all__ = [
+    "GROUND",
+    "Circuit",
+    "Resistor",
+    "CurrentSource",
+    "VoltageSource",
+    "SubstrateMacromodel",
+    "DCSolution",
+    "MNASolver",
+]

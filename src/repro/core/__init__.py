@@ -1,0 +1,16 @@
+"""Sparsification algorithms: wavelet (Ch. 3) and low-rank (Ch. 4)."""
+
+from .moments import contact_moment_matrix, moment_count, moment_orders, moment_shift_matrix
+from .sparsified import SparsifiedConductance
+from .wavelet import WaveletSparsifier
+from .wavelet_basis import WaveletBasis
+
+__all__ = [
+    "moment_orders",
+    "moment_count",
+    "contact_moment_matrix",
+    "moment_shift_matrix",
+    "SparsifiedConductance",
+    "WaveletBasis",
+    "WaveletSparsifier",
+]

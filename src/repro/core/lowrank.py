@@ -1,0 +1,362 @@
+"""Low-rank sparsification: fine-to-coarse sweep and the ``Q Gw Q'`` output.
+
+Section 4.4: starting from the multilevel row-basis representation, the
+fine-to-coarse sweep recombines the *slow-decaying* basis vectors of the four
+children of each square into fast-decaying (``T_p``) and slow-decaying
+(``U_p``) vectors of the parent, using the SVD of the interaction
+``G_{I_p, p} X_p`` evaluated *through the representation* (no further
+black-box solves).  The fast-decaying vectors of every square, plus the
+slow-decaying vectors of the coarsest (level-2) squares, form the orthogonal
+change-of-basis ``Q``; the transformed matrix ``Gw`` keeps only interactions
+between basis functions in squares local to each other (same- or cross-level)
+and the coarsest-level slow-decaying interactions with everything, exactly as
+in the wavelet representation — which makes the two methods directly
+comparable (Tables 4.1 and 4.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from ..geometry.quadtree import Square, SquareHierarchy
+from ..substrate.solver_base import SubstrateSolver
+from .rowbasis import MultilevelRowBasis, _positions
+from .sparsified import SparsifiedConductance
+
+__all__ = ["LowRankSparsifier"]
+
+SquareKey = tuple[int, int, int]
+
+
+@dataclass
+class _SquareBasisTU:
+    """Fast-decaying (T) and slow-decaying (U) bases of one square."""
+
+    key: SquareKey
+    contact_indices: np.ndarray
+    t: np.ndarray
+    u: np.ndarray
+
+
+class LowRankSparsifier:
+    """The low-rank extraction/sparsification pipeline of Chapter 4.
+
+    Parameters
+    ----------
+    hierarchy:
+        Multilevel square hierarchy over the contacts.
+    max_rank:
+        Maximum number of slow-decaying vectors kept per square (paper: 6).
+    sv_rel_threshold:
+        Relative singular-value threshold defining "large" singular values
+        (paper: 1/100).
+    seed:
+        Seed for the random sample vectors of the coarse-to-fine sweep.
+    """
+
+    def __init__(
+        self,
+        hierarchy: SquareHierarchy,
+        max_rank: int = 6,
+        sv_rel_threshold: float = 1e-2,
+        seed: int = 0,
+    ) -> None:
+        self.hierarchy = hierarchy
+        self.max_rank = max_rank
+        self.sv_rel_threshold = sv_rel_threshold
+        self.rowbasis = MultilevelRowBasis(
+            hierarchy, max_rank=max_rank, sv_rel_threshold=sv_rel_threshold, seed=seed
+        )
+        self._tu: dict[SquareKey, _SquareBasisTU] = {}
+        self._lresp: dict[SquareKey, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}
+        self._targets_cache: dict[SquareKey, list[Square]] = {}
+
+    # ----------------------------------------------------------------- phase 1
+    def build(self, solver: SubstrateSolver) -> "LowRankSparsifier":
+        """Run the coarse-to-fine sweep (all the black-box solves happen here)."""
+        self.rowbasis.build(solver)
+        return self
+
+    @property
+    def n_solves(self) -> int:
+        return self.rowbasis.n_solves
+
+    # ----------------------------------------------------------------- phase 2
+    def _interactive_response(
+        self, square: Square, block: np.ndarray, destinations: list[Square]
+    ) -> dict[SquareKey, np.ndarray]:
+        """Responses ``G_{d, square} block`` for interactive destinations ``d``.
+
+        Evaluated through the row-basis representation with the symmetry
+        refinement: ``(G_ds V_s)(V_s' x) + V_d (G_sd V_d)' (x - V_s V_s' x)``.
+        """
+        rb = self.rowbasis.data[square.key]
+        coeff = rb.v.T @ block
+        resid = block - rb.v @ coeff
+        out: dict[SquareKey, np.ndarray] = {}
+        for d in destinations:
+            dd = self.rowbasis.data[d.key]
+            pos_d = _positions(rb.p_contacts, d.contact_indices)
+            term = rb.gv_p[pos_d, :] @ coeff
+            if dd.rank:
+                pos_s = _positions(dd.p_contacts, square.contact_indices)
+                term = term + dd.v @ (dd.gv_p[pos_s, :].T @ resid)
+            out[d.key] = term
+        return out
+
+    def _split_fast_slow(self, interaction: np.ndarray, n_cols: int) -> tuple[np.ndarray, np.ndarray]:
+        """SVD split of an interaction matrix into slow (U) / fast (T) coefficients."""
+        if interaction.size == 0:
+            # nothing to separate against: keep everything as slow-decaying
+            return np.eye(n_cols), np.zeros((n_cols, 0))
+        _, s, vh = np.linalg.svd(interaction, full_matrices=True)
+        if s.size == 0 or s[0] == 0.0:
+            rank = 0
+        else:
+            rank = int(np.count_nonzero(s > self.sv_rel_threshold * s[0]))
+            rank = min(rank, self.max_rank)
+        u_coef = vh[:rank].T
+        t_coef = vh[rank:].T
+        return u_coef, t_coef
+
+    def _build_fine_to_coarse(self) -> None:
+        hier = self.hierarchy
+        rb = self.rowbasis
+        # finest level: U = row basis, T = its orthonormal complement
+        for sq in hier.squares_at_level(hier.max_level):
+            data = rb.data[sq.key]
+            t = rb.finest_w[sq.key]
+            u = data.v
+            self._tu[sq.key] = _SquareBasisTU(sq.key, sq.contact_indices, t, u)
+            lc, block = rb.local_blocks[sq.key]
+            self._lresp[sq.key] = (lc, block @ t, block @ u)
+
+        for level in range(hier.max_level - 1, 1, -1):
+            for parent in hier.squares_at_level(level):
+                self._build_parent(parent)
+
+    def _build_parent(self, parent: Square) -> None:
+        hier = self.hierarchy
+        rb = self.rowbasis
+        children = hier.children(parent)
+        n_p = parent.contact_indices.size
+
+        blocks: list[np.ndarray] = []
+        slices: list[tuple[Square, slice]] = []
+        start = 0
+        for child in children:
+            u_child = self._tu[child.key].u
+            embed = np.zeros((n_p, u_child.shape[1]))
+            rows = _positions(parent.contact_indices, child.contact_indices)
+            embed[rows, :] = u_child
+            blocks.append(embed)
+            slices.append((child, slice(start, start + u_child.shape[1])))
+            start += u_child.shape[1]
+        x_p = np.hstack(blocks) if blocks else np.zeros((n_p, 0))
+        m = x_p.shape[1]
+
+        # interaction with the interactive region, through the representation
+        interactive = hier.interactive_squares(parent)
+        if interactive and m:
+            responses = self._interactive_response(parent, x_p, interactive)
+            interaction = np.vstack([responses[d.key] for d in interactive])
+        else:
+            interaction = np.zeros((0, m))
+        u_coef, t_coef = self._split_fast_slow(interaction, m)
+        t_p = x_p @ t_coef
+        u_p = x_p @ u_coef
+        self._tu[parent.key] = _SquareBasisTU(
+            parent.key, parent.contact_indices, t_p, u_p
+        )
+
+        # local responses to the X_p columns, assembled from the children
+        l_contacts = hier.contacts_in(hier.local_squares(parent))
+        resp_x = np.zeros((l_contacts.size, m))
+        for child, cols in slices:
+            lc_child, _, resp_u_child = self._lresp[child.key]
+            pos = _positions(l_contacts, lc_child)
+            resp_x[pos, cols] = resp_u_child
+            child_interactive = hier.interactive_squares(child)
+            if child_interactive:
+                u_child = self._tu[child.key].u
+                responses = self._interactive_response(
+                    child, u_child, child_interactive
+                )
+                for d in child_interactive:
+                    pos_d = _positions(l_contacts, d.contact_indices)
+                    resp_x[pos_d, cols] = responses[d.key]
+        self._lresp[parent.key] = (l_contacts, resp_x @ t_coef, resp_x @ u_coef)
+
+    # ----------------------------------------------------------- assemble Q/Gw
+    def _quadrant_order_key(self, key: SquareKey) -> int:
+        level, i, j = key
+        jj = (2 ** level - 1) - j
+        code = 0
+        for bit in range(level - 1, -1, -1):
+            code = (code << 2) | ((((jj >> bit) & 1) << 1) | ((i >> bit) & 1))
+        return code
+
+    def _assemble_q(self) -> tuple[sparse.csc_matrix, dict[tuple[SquareKey, str], np.ndarray]]:
+        hier = self.hierarchy
+        n = hier.layout.n_contacts
+        data: list[np.ndarray] = []
+        rows: list[np.ndarray] = []
+        col_ptr: list[int] = [0]
+        column_map: dict[tuple[SquareKey, str], list[int]] = {}
+        count = 0
+
+        def add_block(contacts: np.ndarray, matrix: np.ndarray, key: SquareKey, kind: str) -> None:
+            nonlocal count
+            for local in range(matrix.shape[1]):
+                column = matrix[:, local]
+                nz = np.flatnonzero(np.abs(column) > 0)
+                rows.append(contacts[nz])
+                data.append(column[nz])
+                col_ptr.append(col_ptr[-1] + nz.size)
+                column_map.setdefault((key, kind), []).append(count)
+                count += 1
+
+        # coarsest slow-decaying vectors first, then fast-decaying level by level
+        for sq in sorted(
+            hier.squares_at_level(2), key=lambda s: self._quadrant_order_key(s.key)
+        ):
+            tu = self._tu[sq.key]
+            add_block(tu.contact_indices, tu.u, sq.key, "U")
+        for level in range(2, hier.max_level + 1):
+            for sq in sorted(
+                hier.squares_at_level(level),
+                key=lambda s: self._quadrant_order_key(s.key),
+            ):
+                tu = self._tu[sq.key]
+                if tu.t.shape[1]:
+                    add_block(tu.contact_indices, tu.t, sq.key, "T")
+
+        q = sparse.csc_matrix(
+            (
+                np.concatenate(data) if data else np.empty(0),
+                np.concatenate(rows) if rows else np.empty(0, dtype=int),
+                np.array(col_ptr),
+            ),
+            shape=(n, count),
+        )
+        cols = {k: np.array(v, dtype=int) for k, v in column_map.items()}
+        return q, cols
+
+    def _target_squares(self, source: Square) -> list[Square]:
+        """Squares (source level or finer) whose level-``l`` ancestor is local to the source."""
+        cached = self._targets_cache.get(source.key)
+        if cached is not None:
+            return cached
+        out: list[Square] = []
+        frontier = self.hierarchy.local_squares(source)
+        while frontier:
+            out.extend(frontier)
+            nxt: list[Square] = []
+            for sq in frontier:
+                nxt.extend(self.hierarchy.children(sq))
+            frontier = nxt
+        self._targets_cache[source.key] = out
+        return out
+
+    def to_sparsified(self) -> SparsifiedConductance:
+        """Run the fine-to-coarse sweep and return the ``Q Gw Q'`` representation."""
+        if not self.rowbasis.built:
+            raise RuntimeError("call build(solver) first")
+        if not self._tu:
+            self._build_fine_to_coarse()
+        hier = self.hierarchy
+        q, column_map = self._assemble_q()
+        ncols = q.shape[1]
+
+        entry_rows: list[np.ndarray] = []
+        entry_cols: list[np.ndarray] = []
+        entry_vals: list[np.ndarray] = []
+
+        def record(rr: np.ndarray, cc: np.ndarray, vv: np.ndarray) -> None:
+            entry_rows.append(np.asarray(rr, dtype=int).ravel())
+            entry_cols.append(np.asarray(cc, dtype=int).ravel())
+            entry_vals.append(np.asarray(vv, dtype=float).ravel())
+
+        def record_block(row_idx: np.ndarray, col_idx: np.ndarray, block: np.ndarray) -> None:
+            if row_idx.size == 0 or col_idx.size == 0:
+                return
+            rr, cc = np.meshgrid(row_idx, col_idx, indexing="ij")
+            record(rr, cc, block)
+            record(cc.T, rr.T, block.T)
+
+        # fast-decaying interactions between local squares (same or finer level)
+        for level in range(2, hier.max_level + 1):
+            for sq in hier.squares_at_level(level):
+                source_cols = column_map.get((sq.key, "T"))
+                if source_cols is None or source_cols.size == 0:
+                    continue
+                lc, resp_t, _ = self._lresp[sq.key]
+                for target in self._target_squares(sq):
+                    target_cols = column_map.get((target.key, "T"))
+                    if target_cols is None or target_cols.size == 0:
+                        continue
+                    t_target = self._tu[target.key].t
+                    pos = _positions(lc, target.contact_indices)
+                    block = t_target.T @ resp_t[pos, :]
+                    record_block(target_cols, source_cols, block)
+
+        # coarsest-level slow-decaying vectors interact with everything
+        n = hier.layout.n_contacts
+        for sq in hier.squares_at_level(2):
+            u_cols = column_map.get((sq.key, "U"))
+            if u_cols is None or u_cols.size == 0:
+                continue
+            tu = self._tu[sq.key]
+            full = np.zeros((n, tu.u.shape[1]))
+            full[tu.contact_indices, :] = tu.u
+            responses = self.rowbasis.apply_block(full)
+            gw_cols = q.T @ responses  # (ncols, r)
+            all_rows = np.arange(ncols)
+            for k, col in enumerate(u_cols):
+                record(all_rows, np.full(ncols, col), gw_cols[:, k])
+                record(np.full(ncols, col), all_rows, gw_cols[:, k])
+
+        gw = self._assemble_entries(entry_rows, entry_cols, entry_vals, ncols)
+        # the exact Gw is symmetric (Section 2.4); averaging the two
+        # independently approximated halves removes the small asymmetry left
+        # by the representation.
+        gw = 0.5 * (gw + gw.T)
+        return SparsifiedConductance(
+            q, gw, n_solves=self.rowbasis.n_solves, method="lowrank"
+        )
+
+    @staticmethod
+    def _assemble_entries(
+        rows: list[np.ndarray],
+        cols: list[np.ndarray],
+        vals: list[np.ndarray],
+        ncols: int,
+    ) -> sparse.csr_matrix:
+        if not rows:
+            return sparse.csr_matrix((ncols, ncols))
+        r = np.concatenate(rows)
+        c = np.concatenate(cols)
+        v = np.concatenate(vals)
+        flat = r.astype(np.int64) * ncols + c
+        _, first = np.unique(flat, return_index=True)
+        return sparse.coo_matrix(
+            (v[first], (r[first], c[first])), shape=(ncols, ncols)
+        ).tocsr()
+
+    # ------------------------------------------------------------- convenience
+    def sparsify(
+        self,
+        solver: SubstrateSolver,
+        threshold_sparsity_multiplier: float | None = None,
+    ) -> SparsifiedConductance:
+        """Build the representation and optionally threshold it (paper: 6x)."""
+        if not self.rowbasis.built:
+            self.build(solver)
+        rep = self.to_sparsified()
+        if threshold_sparsity_multiplier is None:
+            return rep
+        target = rep.sparsity_factor() * threshold_sparsity_multiplier
+        return rep.threshold_to_sparsity(target)

@@ -1,0 +1,86 @@
+"""Polynomial moments of contact voltage functions (Section 3.2.1).
+
+The wavelet basis is built from the requirement that (most) basis functions
+have vanishing polynomial moments up to order ``p`` over the contact area of
+their square.  For a voltage function that is constant on each contact, the
+moment of order ``(alpha, beta)`` about a centre ``(cx, cy)`` is a linear
+function of the contact voltages, with coefficients equal to the moments of
+the contact characteristic functions — which have a closed form for
+rectangular contacts.
+"""
+
+from __future__ import annotations
+
+from math import comb
+
+import numpy as np
+
+from ..geometry.contact import ContactLayout
+
+__all__ = [
+    "moment_orders",
+    "moment_count",
+    "contact_moment_matrix",
+    "moment_shift_matrix",
+]
+
+
+def moment_orders(p: int) -> list[tuple[int, int]]:
+    """All (alpha, beta) with ``alpha + beta <= p`` in graded order."""
+    if p < 0:
+        raise ValueError("moment order must be non-negative")
+    return [(a, o - a) for o in range(p + 1) for a in range(o + 1)]
+
+
+def moment_count(p: int) -> int:
+    """Number of moments of order <= p, i.e. ``(p+1)(p+2)/2`` (eq. 3.7)."""
+    return (p + 1) * (p + 2) // 2
+
+
+def contact_moment_matrix(
+    layout: ContactLayout,
+    contact_indices: np.ndarray,
+    center: tuple[float, float],
+    p: int,
+) -> np.ndarray:
+    """Moment matrix ``M_s`` of the standard basis vectors of a square.
+
+    Entry ``[(alpha, beta), i]`` is the ``(alpha, beta)`` moment about
+    ``center`` of the characteristic function of the ``i``-th listed contact,
+    so that for a voltage vector ``v`` on those contacts the moments of the
+    associated voltage function are ``M_s v`` (Section 3.4.1).
+    """
+    orders = moment_orders(p)
+    out = np.empty((len(orders), len(contact_indices)))
+    for col, idx in enumerate(contact_indices):
+        contact = layout.contacts[int(idx)]
+        for row, (alpha, beta) in enumerate(orders):
+            out[row, col] = contact.moment(alpha, beta, center)
+    return out
+
+
+def moment_shift_matrix(
+    old_center: tuple[float, float], new_center: tuple[float, float], p: int
+) -> np.ndarray:
+    """Matrix mapping moments about ``old_center`` to moments about ``new_center``.
+
+    Section 3.4.2: "the moments in the new center are related to those in the
+    old center by a ``d x d`` matrix which can be calculated by expanding out
+    ``(x - x0)^alpha (y - y0)^beta``".  With ``(dx, dy) = old - new``,
+
+        (x - X_new)^a (y - Y_new)^b
+            = sum_{i<=a, j<=b} C(a,i) C(b,j) dx^(a-i) dy^(b-j)
+                               (x - X_old)^i (y - Y_old)^j.
+    """
+    dx = old_center[0] - new_center[0]
+    dy = old_center[1] - new_center[1]
+    orders = moment_orders(p)
+    index = {o: k for k, o in enumerate(orders)}
+    d = len(orders)
+    shift = np.zeros((d, d))
+    for row, (a, b) in enumerate(orders):
+        for i in range(a + 1):
+            for j in range(b + 1):
+                col = index[(i, j)]
+                shift[row, col] = comb(a, i) * comb(b, j) * dx ** (a - i) * dy ** (b - j)
+    return shift

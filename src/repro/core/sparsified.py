@@ -1,0 +1,147 @@
+"""Sparse representation ``G ~ Q Gw Q'`` of the conductance matrix.
+
+Both the wavelet method (Chapter 3) and the low-rank method (Chapter 4)
+produce the same kind of object: an orthogonal, sparse change-of-basis ``Q``
+and a sparse transformed matrix ``Gw``.  This module provides the container
+with the operations used throughout the evaluation: applying the represented
+operator, measuring sparsity, thresholding small entries (``Gwt``), and
+reconstructing dense approximations for error measurement.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+__all__ = ["SparsifiedConductance"]
+
+
+@dataclass
+class SparsifiedConductance:
+    """Container for the ``G ~ Q Gw Q'`` representation.
+
+    Attributes
+    ----------
+    q:
+        Sparse orthogonal change-of-basis matrix (``n x m``; square when the
+        basis is complete).
+    gw:
+        Sparse transformed conductance matrix (``m x m``).
+    n_solves:
+        Number of black-box solver calls spent building the representation
+        (0 when built from an explicitly known ``G``).
+    method:
+        Human-readable tag ("wavelet", "lowrank", ...).
+    """
+
+    q: sparse.spmatrix
+    gw: sparse.spmatrix
+    n_solves: int = 0
+    method: str = ""
+
+    def __post_init__(self) -> None:
+        self.q = sparse.csr_matrix(self.q)
+        self.gw = sparse.csr_matrix(self.gw)
+        if self.q.shape[1] != self.gw.shape[0] or self.gw.shape[0] != self.gw.shape[1]:
+            raise ValueError("inconsistent Q / Gw shapes")
+
+    # ------------------------------------------------------------------ basics
+    @property
+    def n_contacts(self) -> int:
+        return self.q.shape[0]
+
+    @property
+    def nnz_gw(self) -> int:
+        return int(self.gw.nnz)
+
+    @property
+    def nnz_q(self) -> int:
+        return int(self.q.nnz)
+
+    def sparsity_factor(self) -> float:
+        """``n^2 / nnz(Gw)`` — the paper's "sparsity" measure for ``Gw``."""
+        n = self.n_contacts
+        return n * n / max(self.nnz_gw, 1)
+
+    def q_sparsity_factor(self) -> float:
+        """``n^2 / nnz(Q)``."""
+        n = self.n_contacts
+        return n * n / max(self.nnz_q, 1)
+
+    def solve_reduction_factor(self) -> float:
+        """``n / (number of black-box solves used)``."""
+        if self.n_solves <= 0:
+            return float("inf")
+        return self.n_contacts / self.n_solves
+
+    # ------------------------------------------------------------------- apply
+    def apply(self, voltages: np.ndarray) -> np.ndarray:
+        """Apply the represented operator: ``Q (Gw (Q' v))``."""
+        v = np.asarray(voltages, dtype=float)
+        return self.q @ (self.gw @ (self.q.T @ v))
+
+    def matmat(self, block: np.ndarray) -> np.ndarray:
+        """Apply to several voltage vectors (columns of ``block``)."""
+        return self.q @ (self.gw @ (self.q.T @ np.asarray(block, dtype=float)))
+
+    def to_dense(self) -> np.ndarray:
+        """Reconstruct the dense approximation ``Q Gw Q'``."""
+        qd = self.q.toarray()
+        return qd @ self.gw.toarray() @ qd.T
+
+    # -------------------------------------------------------------- threshold
+    def threshold(self, absolute: float) -> "SparsifiedConductance":
+        """Drop entries of ``Gw`` with magnitude below ``absolute``."""
+        gw = self.gw.tocoo(copy=True)
+        keep = np.abs(gw.data) >= absolute
+        gwt = sparse.coo_matrix(
+            (gw.data[keep], (gw.row[keep], gw.col[keep])), shape=gw.shape
+        )
+        return SparsifiedConductance(self.q, gwt.tocsr(), self.n_solves, self.method + "+threshold")
+
+    def threshold_to_sparsity(
+        self, target_sparsity: float, max_bisections: int = 60
+    ) -> "SparsifiedConductance":
+        """Threshold so the sparsity factor is (approximately) ``target_sparsity``.
+
+        The paper chooses the threshold by binary search so that ``Gwt`` is
+        about 6x sparser than the unthresholded ``Gws`` (Section 4.6).
+        """
+        n = self.n_contacts
+        target_nnz = max(1, int(round(n * n / target_sparsity)))
+        data = np.abs(self.gw.tocoo().data)
+        if data.size <= target_nnz:
+            return SparsifiedConductance(self.q, self.gw, self.n_solves, self.method)
+        lo, hi = 0.0, float(data.max())
+        for _ in range(max_bisections):
+            mid = 0.5 * (lo + hi)
+            nnz = int(np.count_nonzero(data >= mid))
+            if nnz > target_nnz:
+                lo = mid
+            else:
+                hi = mid
+        return self.threshold(hi)
+
+    def threshold_fraction_of_nnz(self, keep_fraction: float) -> "SparsifiedConductance":
+        """Keep (approximately) the largest ``keep_fraction`` of the entries."""
+        if not 0 < keep_fraction <= 1:
+            raise ValueError("keep_fraction must be in (0, 1]")
+        data = np.abs(self.gw.tocoo().data)
+        k = max(1, int(round(keep_fraction * data.size)))
+        cutoff = np.partition(data, data.size - k)[data.size - k]
+        return self.threshold(cutoff)
+
+    # ------------------------------------------------------------------ report
+    def summary(self) -> dict[str, float]:
+        """Headline numbers used in the paper's tables."""
+        return {
+            "n_contacts": float(self.n_contacts),
+            "nnz_gw": float(self.nnz_gw),
+            "nnz_q": float(self.nnz_q),
+            "sparsity_factor": self.sparsity_factor(),
+            "q_sparsity_factor": self.q_sparsity_factor(),
+            "n_solves": float(self.n_solves),
+            "solve_reduction_factor": self.solve_reduction_factor(),
+        }

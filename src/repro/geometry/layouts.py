@@ -1,0 +1,316 @@
+"""Contact layout generators used in the paper's evaluation.
+
+Chapter 3 (Figures 3-6, 3-7, 3-8) and Chapter 4 (Figures 4-1, 4-2, 4-8,
+4-10) use a family of synthetic contact layouts:
+
+* a regular grid of identical contacts (Example 1a/1b),
+* the same contacts placed irregularly with large gaps (Example 2),
+* a regular grid of contacts of alternating sizes (Example 3 of Ch. 3 /
+  Example 2 of Ch. 4),
+* an irregular layout mixing small squares, long thin contacts and ring
+  contacts (Example 3 of Ch. 4),
+* large versions of the above (Examples 4 and 5 of Ch. 4, up to 10240
+  contacts).
+
+All generators return a :class:`~repro.geometry.contact.ContactLayout` whose
+contacts already respect finest-level square boundaries for the quadtree depth
+implied by the grid, so that no further splitting is required in the common
+case.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .contact import Contact, ContactLayout
+
+__all__ = [
+    "regular_grid",
+    "irregular_same_size",
+    "alternating_size_grid",
+    "mixed_shapes",
+    "large_alternating_grid",
+    "large_mixed",
+    "ring_contact",
+    "two_square_clusters",
+]
+
+
+def regular_grid(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    name_prefix: str = "c",
+) -> ContactLayout:
+    """Regular ``n_side x n_side`` grid of identical square contacts.
+
+    This is Example 1a/1b of the paper (Figure 3-6).  Each cell of the
+    regular grid contains one centred square contact occupying ``fill`` of the
+    cell side length.
+
+    Parameters
+    ----------
+    n_side:
+        Number of contacts per side (total ``n_side**2`` contacts).
+    size:
+        Lateral substrate dimension (square substrate).
+    fill:
+        Contact side as a fraction of the cell side, in (0, 1).
+    """
+    if not 0 < fill < 1:
+        raise ValueError("fill must be in (0, 1)")
+    cell = size / n_side
+    side = fill * cell
+    margin = 0.5 * (cell - side)
+    contacts = []
+    for j in range(n_side):
+        for i in range(n_side):
+            contacts.append(
+                Contact(
+                    i * cell + margin,
+                    j * cell + margin,
+                    side,
+                    side,
+                    f"{name_prefix}{j * n_side + i}",
+                )
+            )
+    return ContactLayout(contacts, size, size)
+
+
+def irregular_same_size(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    keep_fraction: float = 0.7,
+    jitter: float = 0.35,
+    seed: int = 7,
+) -> ContactLayout:
+    """Same-size contacts, irregular placement with gaps (Example 2, Fig. 3-7).
+
+    Starts from the regular grid, randomly removes cells to create large gaps
+    and jitters the surviving contacts inside their cells so placement is no
+    longer regular (contacts never leave their cell, so they still respect the
+    finest-level square boundaries).
+    """
+    if not 0 < keep_fraction <= 1:
+        raise ValueError("keep_fraction must be in (0, 1]")
+    rng = np.random.default_rng(seed)
+    cell = size / n_side
+    side = fill * cell
+    slack = cell - side
+    contacts = []
+    k = 0
+    for j in range(n_side):
+        for i in range(n_side):
+            if rng.random() > keep_fraction:
+                continue
+            dx = (rng.random() - 0.5) * 2 * jitter * slack
+            dy = (rng.random() - 0.5) * 2 * jitter * slack
+            x = i * cell + 0.5 * slack + dx
+            y = j * cell + 0.5 * slack + dy
+            x = min(max(x, i * cell), (i + 1) * cell - side)
+            y = min(max(y, j * cell), (j + 1) * cell - side)
+            contacts.append(Contact(x, y, side, side, f"c{k}"))
+            k += 1
+    return ContactLayout(contacts, size, size)
+
+
+def alternating_size_grid(
+    n_side: int = 16,
+    size: float = 128.0,
+    large_fill: float = 0.7,
+    small_fill: float = 0.3,
+) -> ContactLayout:
+    """Regular grid with contacts of alternating sizes (Fig. 3-8).
+
+    Rows alternate between large and small contacts; this is the layout on
+    which the wavelet method degrades and the low-rank method shines
+    (Example 3 of Chapter 3 / Example 2 of Chapter 4).
+    """
+    cell = size / n_side
+    contacts = []
+    k = 0
+    for j in range(n_side):
+        fill = large_fill if j % 2 == 0 else small_fill
+        side = fill * cell
+        margin = 0.5 * (cell - side)
+        for i in range(n_side):
+            contacts.append(
+                Contact(i * cell + margin, j * cell + margin, side, side, f"c{k}")
+            )
+            k += 1
+    return ContactLayout(contacts, size, size)
+
+
+def ring_contact(
+    x: float, y: float, outer: float, thickness: float, name: str = "ring"
+) -> list[Contact]:
+    """Square ring (guard-ring style contact) built from four rectangles.
+
+    Real substrate layouts contain guard rings; the paper's Example 3 of
+    Chapter 4 includes ring contacts.  The ring is returned as four
+    non-overlapping rectangles (bottom, top, left, right strips) so that each
+    piece is a plain rectangular contact.
+    """
+    if thickness * 2 >= outer:
+        raise ValueError("ring thickness too large for outer size")
+    t = thickness
+    return [
+        Contact(x, y, outer, t, f"{name}_b"),
+        Contact(x, y + outer - t, outer, t, f"{name}_t"),
+        Contact(x, y + t, t, outer - 2 * t, f"{name}_l"),
+        Contact(x + outer - t, y + t, t, outer - 2 * t, f"{name}_r"),
+    ]
+
+
+def mixed_shapes(
+    size: float = 128.0,
+    max_level: int = 4,
+    seed: int = 3,
+) -> ContactLayout:
+    """Irregular layout with small squares, long thin contacts and rings.
+
+    Models Example 3 of Chapter 4 (Figure 4-8): "some small square contacts,
+    long thin contacts, and rings, which are all features of real substrate
+    contact layouts".  Long and ring contacts are split so that every piece
+    fits inside a finest-level square at ``max_level``.
+    """
+    rng = np.random.default_rng(seed)
+    cell = size / 16.0
+    contacts: list[Contact] = []
+
+    # Small square contacts scattered over the left half.
+    k = 0
+    for j in range(16):
+        for i in range(8):
+            if rng.random() < 0.45:
+                side = cell * rng.uniform(0.25, 0.5)
+                x = i * cell + rng.uniform(0, cell - side)
+                y = j * cell + rng.uniform(0, cell - side)
+                contacts.append(Contact(x, y, side, side, f"sq{k}"))
+                k += 1
+
+    # Long thin horizontal bus contacts on the upper right quadrant.
+    for j, yy in enumerate(np.linspace(0.62 * size, 0.92 * size, 5)):
+        contacts.append(
+            Contact(0.55 * size, yy, 0.40 * size, 0.18 * cell, f"bus{j}")
+        )
+
+    # Guard rings in the lower right quadrant.
+    for r, (rx, ry) in enumerate(
+        [(0.60 * size, 0.10 * size), (0.78 * size, 0.28 * size), (0.62 * size, 0.34 * size)]
+    ):
+        contacts.extend(
+            ring_contact(rx, ry, outer=0.12 * size, thickness=0.018 * size, name=f"ring{r}")
+        )
+
+    layout = ContactLayout(contacts, size, size)
+    return layout.split_for_level(max_level)
+
+
+def large_alternating_grid(
+    n_side: int = 64, size: float = 512.0
+) -> ContactLayout:
+    """Large alternating-size grid (Example 4 of Chapter 4, 64 x 64 contacts)."""
+    return alternating_size_grid(n_side=n_side, size=size)
+
+
+def large_mixed(
+    size: float = 512.0,
+    n_blocks: int = 8,
+    seed: int = 11,
+    max_level: int = 6,
+) -> ContactLayout:
+    """Large layout of mixed large and small contacts (Example 5, Fig. 4-10).
+
+    Tiles the surface with blocks; each block receives either a dense patch of
+    small contacts or a few large contacts, producing a layout with thousands
+    of contacts of two very different sizes.
+    """
+    rng = np.random.default_rng(seed)
+    block = size / n_blocks
+    contacts: list[Contact] = []
+    k = 0
+    for bj in range(n_blocks):
+        for bi in range(n_blocks):
+            x0, y0 = bi * block, bj * block
+            if (bi + bj) % 2 == 0:
+                # dense patch of small contacts
+                m = 6
+                cell = block / m
+                for j in range(m):
+                    for i in range(m):
+                        side = 0.5 * cell
+                        contacts.append(
+                            Contact(
+                                x0 + i * cell + 0.25 * cell,
+                                y0 + j * cell + 0.25 * cell,
+                                side,
+                                side,
+                                f"s{k}",
+                            )
+                        )
+                        k += 1
+            else:
+                # a few large contacts
+                m = 2
+                cell = block / m
+                for j in range(m):
+                    for i in range(m):
+                        if rng.random() < 0.85:
+                            side = 0.7 * cell
+                            contacts.append(
+                                Contact(
+                                    x0 + i * cell + 0.15 * cell,
+                                    y0 + j * cell + 0.15 * cell,
+                                    side,
+                                    side,
+                                    f"L{k}",
+                                )
+                            )
+                            k += 1
+    layout = ContactLayout(contacts, size, size)
+    return layout.split_for_level(max_level)
+
+
+def two_square_clusters(
+    size: float = 64.0,
+    n_per_cluster: int = 16,
+    separation_cells: int = 3,
+    seed: int = 5,
+) -> ContactLayout:
+    """Two well-separated clusters of contacts (Figure 4-2).
+
+    Used to demonstrate the rapid singular-value decay of well-separated
+    interactions versus the slow decay of self interactions (Figure 4-3).
+    The first ``n_per_cluster`` contacts belong to the source square ``s`` and
+    the rest to the destination square ``d``.
+    """
+    rng = np.random.default_rng(seed)
+    cell = size / 8.0
+    m = int(np.ceil(np.sqrt(n_per_cluster)))
+
+    def cluster(x0: float, y0: float, prefix: str) -> list[Contact]:
+        sub = cell / m
+        out = []
+        k = 0
+        for j in range(m):
+            for i in range(m):
+                if k >= n_per_cluster:
+                    break
+                side = sub * rng.uniform(0.4, 0.6)
+                out.append(
+                    Contact(
+                        x0 + i * sub + 0.2 * sub,
+                        y0 + j * sub + 0.2 * sub,
+                        side,
+                        side,
+                        f"{prefix}{k}",
+                    )
+                )
+                k += 1
+        return out
+
+    src = cluster(0.0, 0.0, "s")
+    dst = cluster(separation_cells * cell, separation_cells * cell, "d")
+    return ContactLayout(src + dst, size, size)

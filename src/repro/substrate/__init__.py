@@ -1,0 +1,26 @@
+"""Substrate models and black-box solvers (Chapter 2)."""
+
+from .extraction import (
+    check_conductance_properties,
+    extract_columns,
+    extract_dense,
+)
+from .profile import Layer, SubstrateProfile
+from .solver_base import (
+    CallableSolver,
+    CountingSolver,
+    DenseMatrixSolver,
+    SubstrateSolver,
+)
+
+__all__ = [
+    "Layer",
+    "SubstrateProfile",
+    "SubstrateSolver",
+    "CountingSolver",
+    "DenseMatrixSolver",
+    "CallableSolver",
+    "extract_dense",
+    "extract_columns",
+    "check_conductance_properties",
+]

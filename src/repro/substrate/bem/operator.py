@@ -1,0 +1,153 @@
+"""Panel current-to-potential operator via the eigendecomposition (Figure 2-6).
+
+The surface is discretised into a uniform ``nx x ny`` panel grid
+(:class:`~repro.geometry.panels.PanelGrid`).  Given total currents per panel,
+the operator
+
+1. forms the cosine-mode coefficients of the surface current density
+   (a 2-D DCT of the panel currents),
+2. scales each mode by its eigenvalue ``lambda_mn`` (and the cosine-basis
+   normalisation), and
+3. evaluates the resulting potential at the panel centres (inverse DCT).
+
+With collocation at panel centres the whole operator is exactly
+``A = C' diag(w_mn) C`` where ``C`` is the (non-normalised) 2-D DCT-II matrix
+and ``w_mn = lambda_mn * eps_m * eps_n / (a b)``; it is therefore symmetric
+positive semi-definite by construction, which Section 2.4 relies on.
+
+Two apply paths are provided: a cached cosine-matrix path (used for modest
+grids and as the reference in tests) and an FFT path using
+``scipy.fft.dct`` that is asymptotically ``O(N log N)``.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy import fft as sp_fft
+
+from ...geometry.panels import PanelGrid
+from ..profile import SubstrateProfile
+from .eigenvalues import eigenvalue_table
+
+__all__ = ["SurfaceOperator"]
+
+
+class SurfaceOperator:
+    """Current-to-potential operator on the panel grid.
+
+    Parameters
+    ----------
+    grid:
+        Panel discretisation of the top surface.
+    profile:
+        Layered substrate profile (must have the same lateral size as the
+        grid's layout).
+    use_fft:
+        Apply through ``scipy.fft.dct`` (True, default) or through cached
+        cosine matrices (False).
+    """
+
+    def __init__(
+        self, grid: PanelGrid, profile: SubstrateProfile, use_fft: bool = True
+    ) -> None:
+        if not np.isclose(grid.layout.size_x, profile.size_x) or not np.isclose(
+            grid.layout.size_y, profile.size_y
+        ):
+            raise ValueError("panel grid and substrate profile sizes disagree")
+        self.grid = grid
+        self.profile = profile
+        self.use_fft = use_fft
+
+        nx, ny = grid.nx, grid.ny
+        lam = eigenvalue_table(nx, ny, profile)
+        eps_m = np.where(np.arange(nx) == 0, 1.0, 2.0)
+        eps_n = np.where(np.arange(ny) == 0, 1.0, 2.0)
+        area = profile.size_x * profile.size_y
+        #: modal weights w_mn = lambda_mn * eps_m * eps_n / (a*b)
+        self.weights = lam * (eps_m[:, None] * eps_n[None, :]) / area
+
+        self._cos_x: np.ndarray | None = None
+        self._cos_y: np.ndarray | None = None
+        if not use_fft:
+            self._build_cosine_matrices()
+
+    # ----------------------------------------------------------------- set-up
+    def _build_cosine_matrices(self) -> None:
+        nx, ny = self.grid.nx, self.grid.ny
+        m = np.arange(nx)[:, None]
+        i = np.arange(nx)[None, :]
+        self._cos_x = np.cos(np.pi * m * (i + 0.5) / nx)
+        n = np.arange(ny)[:, None]
+        j = np.arange(ny)[None, :]
+        self._cos_y = np.cos(np.pi * n * (j + 0.5) / ny)
+
+    # ------------------------------------------------------------------ apply
+    def apply_grid(self, panel_currents: np.ndarray) -> np.ndarray:
+        """Apply the operator to an ``(nx, ny)`` array of panel currents."""
+        q = np.asarray(panel_currents, dtype=float)
+        if q.shape != (self.grid.nx, self.grid.ny):
+            raise ValueError("panel current array has the wrong shape")
+        if self.use_fft:
+            return self._apply_fft(q)
+        return self._apply_matrix(q)
+
+    def _apply_matrix(self, q: np.ndarray) -> np.ndarray:
+        if self._cos_x is None or self._cos_y is None:
+            self._build_cosine_matrices()
+        modal = self._cos_x @ q @ self._cos_y.T
+        modal *= self.weights
+        return self._cos_x.T @ modal @ self._cos_y
+
+    def _apply_fft(self, q: np.ndarray) -> np.ndarray:
+        # forward: C q  (DCT-II without normalisation is 2*C per axis)
+        modal = sp_fft.dctn(q, type=2, norm=None) * 0.25
+        modal *= self.weights
+        # backward: C' y per axis; C'[i,m] y[m] = 0.5*(dct3(y)[i] + y[0])
+        tmp = 0.5 * (sp_fft.dct(modal, type=3, axis=0, norm=None) + modal[0:1, :])
+        out = 0.5 * (sp_fft.dct(tmp, type=3, axis=1, norm=None) + tmp[:, 0:1])
+        return out
+
+    def apply_flat(self, panel_currents_flat: np.ndarray) -> np.ndarray:
+        """Apply to a flat vector of panel currents (flat index ``i*ny + j``)."""
+        q = np.asarray(panel_currents_flat, dtype=float).reshape(
+            self.grid.nx, self.grid.ny
+        )
+        return self.apply_grid(q).ravel()
+
+    def apply_contact_panels(self, q_contact: np.ndarray) -> np.ndarray:
+        """Apply the operator restricted to contact panels.
+
+        Non-contact panels carry zero current (the "zero-padding" step of
+        Figure 2-6); the result is the potential at the contact panels only
+        (the "lifting" step restricted to contacts).
+        """
+        full = np.zeros(self.grid.n_panels)
+        full[self.grid.all_contact_panels] = q_contact
+        pot = self.apply_flat(full)
+        return pot[self.grid.all_contact_panels]
+
+    # ------------------------------------------------------------- diagnostics
+    def contact_block_diagonal(self) -> np.ndarray:
+        """Diagonal of the contact-panel block ``A_cc`` (Jacobi preconditioner).
+
+        ``A_pp = sum_mn w_mn cos_m(x_p)^2 cos_n(y_p)^2`` which factorises into
+        two small matrix products.
+        """
+        nx, ny = self.grid.nx, self.grid.ny
+        if self._cos_x is None or self._cos_y is None:
+            self._build_cosine_matrices()
+        cx2 = self._cos_x ** 2  # (modes m, panels i)
+        cy2 = self._cos_y ** 2
+        diag_grid = cx2.T @ self.weights @ cy2  # (i, j)
+        return diag_grid.ravel()[self.grid.all_contact_panels]
+
+    def dense_contact_block(self) -> np.ndarray:
+        """Explicitly form ``A_cc`` (small problems / tests only)."""
+        ncp = self.grid.n_contact_panels
+        out = np.empty((ncp, ncp))
+        e = np.zeros(ncp)
+        for k in range(ncp):
+            e[k] = 1.0
+            out[:, k] = self.apply_contact_panels(e)
+            e[k] = 0.0
+        return out

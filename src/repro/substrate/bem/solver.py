@@ -1,0 +1,172 @@
+"""Eigenfunction-based (surface-variable) substrate solver.
+
+Given contact voltages, the solver finds the contact-panel currents ``q`` such
+that the potential produced by ``q`` equals the prescribed voltage on every
+contact panel (non-contact panels carry zero current), then sums panel
+currents per contact.  This is the black-box solver of Section 2.3 used for
+most of the paper's experiments.
+
+For a grounded backplane the contact-panel block ``A_cc`` is symmetric
+positive definite and a preconditioned conjugate-gradient iteration is used.
+For a floating backplane the potential is only determined up to an additive
+constant and net injected current must vanish; the solver then solves the
+bordered (saddle-point) system
+
+    [ A_cc  1 ] [q]   [v]
+    [ 1'    0 ] [c] = [0]
+
+with MINRES, which yields the gauge constant ``c`` alongside the currents.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+from scipy.sparse.linalg import LinearOperator, cg, minres
+
+from ...geometry.contact import ContactLayout
+from ...geometry.panels import PanelGrid
+from ..profile import SubstrateProfile
+from ..solver_base import SubstrateSolver
+from .operator import SurfaceOperator
+
+__all__ = ["EigenfunctionSolver"]
+
+
+@dataclass
+class _SolveStats:
+    """Bookkeeping for Table 2.2-style reporting."""
+
+    n_solves: int = 0
+    total_iterations: int = 0
+    iterations_per_solve: list[int] = field(default_factory=list)
+
+    def record(self, iterations: int) -> None:
+        self.n_solves += 1
+        self.total_iterations += iterations
+        self.iterations_per_solve.append(iterations)
+
+    @property
+    def mean_iterations(self) -> float:
+        return self.total_iterations / self.n_solves if self.n_solves else 0.0
+
+
+class EigenfunctionSolver(SubstrateSolver):
+    """Black-box substrate solver using the DCT eigendecomposition operator.
+
+    Parameters
+    ----------
+    layout:
+        Contact layout.
+    profile:
+        Layered substrate profile (lateral size must match the layout).
+    panels_per_contact:
+        Minimum number of panels across the smallest contact side.
+    max_panels:
+        Cap on panels per side.
+    rtol:
+        Relative residual tolerance of the iterative solve.
+    use_fft:
+        Forwarded to :class:`SurfaceOperator`.
+    """
+
+    def __init__(
+        self,
+        layout: ContactLayout,
+        profile: SubstrateProfile,
+        panels_per_contact: int = 2,
+        max_panels: int = 256,
+        rtol: float = 1e-8,
+        use_fft: bool = True,
+    ) -> None:
+        self.layout = layout
+        self.profile = profile
+        self.grid = PanelGrid.for_layout(
+            layout, panels_per_min_contact=panels_per_contact, max_panels=max_panels
+        )
+        self.operator = SurfaceOperator(self.grid, profile, use_fft=use_fft)
+        self.rtol = rtol
+        self.stats = _SolveStats()
+        self._jacobi = self.operator.contact_block_diagonal()
+        if np.any(self._jacobi <= 0):
+            # floating backplane has a zero uniform mode; the diagonal stays
+            # positive in practice, but guard against degenerate grids.
+            self._jacobi = np.maximum(self._jacobi, np.max(self._jacobi) * 1e-12 + 1e-300)
+
+    # ----------------------------------------------------------------- solves
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        voltages = np.asarray(voltages, dtype=float)
+        if voltages.shape != (self.layout.n_contacts,):
+            raise ValueError("expected one voltage per contact")
+        v_panel = self.grid.spread_contact_values(voltages)[
+            self.grid.all_contact_panels
+        ]
+        if self.profile.grounded_backplane:
+            q_panel = self._solve_grounded(v_panel)
+        else:
+            q_panel = self._solve_floating(v_panel)
+        full = np.zeros(self.grid.n_panels)
+        full[self.grid.all_contact_panels] = q_panel
+        return self.grid.sum_panel_values(full)
+
+    def _solve_grounded(self, v_panel: np.ndarray) -> np.ndarray:
+        ncp = self.grid.n_contact_panels
+        a_cc = LinearOperator(
+            (ncp, ncp), matvec=self.operator.apply_contact_panels, dtype=float
+        )
+        m_inv = LinearOperator(
+            (ncp, ncp), matvec=lambda r: r / self._jacobi, dtype=float
+        )
+        iterations = 0
+
+        def cb(_xk: np.ndarray) -> None:
+            nonlocal iterations
+            iterations += 1
+
+        x0 = v_panel / self._jacobi
+        sol, info = cg(a_cc, v_panel, x0=x0, rtol=self.rtol, maxiter=2000, M=m_inv, callback=cb)
+        if info > 0:
+            raise RuntimeError(f"CG did not converge in {info} iterations")
+        self.stats.record(iterations)
+        return sol
+
+    def _solve_floating(self, v_panel: np.ndarray) -> np.ndarray:
+        ncp = self.grid.n_contact_panels
+        ones = np.ones(ncp)
+        scale = float(np.mean(self._jacobi))
+
+        def matvec(x: np.ndarray) -> np.ndarray:
+            q, c = x[:-1], x[-1]
+            top = self.operator.apply_contact_panels(q) + c * scale * ones
+            bottom = scale * float(ones @ q)
+            return np.concatenate([top, [bottom]])
+
+        k = LinearOperator((ncp + 1, ncp + 1), matvec=matvec, dtype=float)
+        diag = np.concatenate([self._jacobi, [scale]])
+        m_inv = LinearOperator(
+            (ncp + 1, ncp + 1), matvec=lambda r: r / diag, dtype=float
+        )
+        rhs = np.concatenate([v_panel, [0.0]])
+        iterations = 0
+
+        def cb(_xk: np.ndarray) -> None:
+            nonlocal iterations
+            iterations += 1
+
+        sol, info = minres(k, rhs, rtol=self.rtol, maxiter=4000, M=m_inv, callback=cb)
+        if info > 0:
+            raise RuntimeError("MINRES did not converge")
+        self.stats.record(iterations)
+        return sol[:-1]
+
+    # ------------------------------------------------------------ convenience
+    def conductance_matrix(self) -> np.ndarray:
+        """Extract the dense ``G`` (one solve per contact) — small layouts only."""
+        from ..extraction import extract_dense
+
+        return extract_dense(self)
+
+    def mean_iterations_per_solve(self) -> float:
+        """Average iterative-solver iterations per black-box solve (Table 2.2)."""
+        return self.stats.mean_iterations

@@ -1,0 +1,125 @@
+"""Naive dense extraction of the conductance matrix and property checks.
+
+The naive method (Section 1.2) applies the black-box solver once per contact:
+``G e_i`` is the response to 1 V on contact ``i`` and 0 V elsewhere, so ``n``
+solves produce the dense ``G``.  Section 2.4 lists the structural properties
+the extracted matrix must satisfy (symmetry, diagonal dominance, sign
+pattern, rank-one deficiency without a backplane); they are exposed here as
+check functions used in tests and debugging.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .solver_base import SubstrateSolver
+
+__all__ = [
+    "extract_dense",
+    "extract_columns",
+    "check_conductance_properties",
+    "symmetry_error",
+    "diagonal_dominance_margin",
+]
+
+
+def extract_dense(solver: SubstrateSolver, symmetrize: bool = False) -> np.ndarray:
+    """Extract the full dense ``G`` with one solve per contact.
+
+    Parameters
+    ----------
+    solver:
+        The black-box substrate solver.
+    symmetrize:
+        If True, return ``(G + G') / 2``.  The exact operator is symmetric
+        (Section 2.4) but iterative solvers introduce small asymmetries.
+    """
+    n = solver.n_contacts
+    g = np.empty((n, n))
+    e = np.zeros(n)
+    for i in range(n):
+        e[i] = 1.0
+        g[:, i] = solver.solve_currents(e)
+        e[i] = 0.0
+    if symmetrize:
+        g = 0.5 * (g + g.T)
+    return g
+
+
+def extract_columns(solver: SubstrateSolver, columns: np.ndarray) -> np.ndarray:
+    """Extract selected columns of ``G`` (one solve per requested column).
+
+    Used for the larger examples of Table 4.3 where forming the whole ``G``
+    is too expensive; errors are then measured on a column sample.
+    """
+    columns = np.asarray(columns, dtype=int)
+    n = solver.n_contacts
+    out = np.empty((n, columns.size))
+    e = np.zeros(n)
+    for k, i in enumerate(columns):
+        e[i] = 1.0
+        out[:, k] = solver.solve_currents(e)
+        e[i] = 0.0
+    return out
+
+
+def symmetry_error(g: np.ndarray) -> float:
+    """Relative symmetry error ``||G - G'|| / ||G||`` (Frobenius)."""
+    denom = np.linalg.norm(g)
+    if denom == 0:
+        return 0.0
+    return float(np.linalg.norm(g - g.T) / denom)
+
+
+def diagonal_dominance_margin(g: np.ndarray) -> np.ndarray:
+    """Per-row margin ``|G_ii| - sum_{j != i} |G_ij|``.
+
+    Positive margins mean strict diagonal dominance; for a floating backplane
+    the margins should be (numerically) zero (Section 2.4).
+    """
+    g = np.asarray(g, dtype=float)
+    diag = np.abs(np.diag(g))
+    offdiag = np.sum(np.abs(g), axis=1) - diag
+    return diag - offdiag
+
+
+def check_conductance_properties(
+    g: np.ndarray,
+    grounded_backplane: bool,
+    symmetry_tol: float = 1e-6,
+    sign_tol: float = 1e-10,
+    dominance_tol: float = 1e-6,
+) -> dict[str, bool]:
+    """Check the structural properties of Section 2.4.
+
+    Returns a dict of named boolean checks:
+
+    * ``symmetric``: ``G`` is symmetric to ``symmetry_tol`` (relative).
+    * ``positive_diagonal``: all diagonal entries are positive.
+    * ``negative_offdiagonal``: all off-diagonal entries are <= ``sign_tol``.
+    * ``diagonally_dominant``: every row has non-negative dominance margin
+      (to a relative tolerance).
+    * ``rank_deficient_as_expected``: with no backplane, row sums vanish
+      (tight dominance / rank-one deficiency); with a grounded backplane the
+      dominance is strict on average.
+    """
+    g = np.asarray(g, dtype=float)
+    n = g.shape[0]
+    scale = float(np.abs(np.diag(g)).max())
+    margins = diagonal_dominance_margin(g)
+    row_sums = g.sum(axis=1)
+    checks = {
+        "symmetric": symmetry_error(g) <= symmetry_tol,
+        "positive_diagonal": bool(np.all(np.diag(g) > 0)),
+        "negative_offdiagonal": bool(
+            np.all(g[~np.eye(n, dtype=bool)] <= sign_tol * scale)
+        ),
+        "diagonally_dominant": bool(np.all(margins >= -dominance_tol * scale)),
+    }
+    if grounded_backplane:
+        checks["rank_deficient_as_expected"] = bool(np.mean(margins) > 0)
+    else:
+        checks["rank_deficient_as_expected"] = bool(
+            np.max(np.abs(row_sums)) <= 100 * dominance_tol * scale
+        )
+    return checks

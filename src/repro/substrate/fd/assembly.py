@@ -1,0 +1,133 @@
+"""Sparse assembly of the grid-of-resistors system matrix.
+
+Builds the symmetric positive definite nodal conductance matrix ``A`` of
+Section 2.2 (eq. 2.9): every resistor between nodes ``a`` and ``b`` with
+conductance ``g`` stamps ``+g`` on both diagonals and ``-g`` on the two
+off-diagonal positions.  Neumann boundaries (sidewalls, non-contact top
+surface, floating bottom) are handled by simply omitting resistors; Dirichlet
+boundaries (contacts, grounded backplane) are eliminated into the diagonal
+and the right-hand side.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+from scipy import sparse
+
+from .grid import Grid3D
+
+__all__ = ["FDAssembly"]
+
+
+@dataclass
+class FDAssembly:
+    """Assembled finite-difference system for one grid.
+
+    Attributes
+    ----------
+    matrix:
+        The ``n_nodes x n_nodes`` CSR nodal conductance matrix (Dirichlet
+        couplings folded into the diagonal).
+    grid:
+        The underlying :class:`Grid3D`.
+    """
+
+    grid: Grid3D
+
+    def __post_init__(self) -> None:
+        self.matrix = self._assemble()
+        self._g_top = self.grid.top_dirichlet_conductance()
+
+    # ----------------------------------------------------------------- stamps
+    def _assemble(self) -> sparse.csr_matrix:
+        g = self.grid
+        nx, ny, nz = g.nx, g.ny, g.nz
+        n = g.n_nodes
+        gx, gy = g.lateral_conductances()
+        gz = g.vertical_conductances()
+
+        rows: list[np.ndarray] = []
+        cols: list[np.ndarray] = []
+        vals: list[np.ndarray] = []
+        diag = np.zeros(n)
+
+        def stamp(a: np.ndarray, b: np.ndarray, gval: np.ndarray | float) -> None:
+            gval = np.broadcast_to(np.asarray(gval, dtype=float), a.shape).ravel()
+            a = a.ravel()
+            b = b.ravel()
+            np.add.at(diag, a, gval)
+            np.add.at(diag, b, gval)
+            rows.append(a)
+            cols.append(b)
+            vals.append(-gval)
+            rows.append(b)
+            cols.append(a)
+            vals.append(-gval)
+
+        ii, jj, kk = np.meshgrid(
+            np.arange(nx), np.arange(ny), np.arange(nz), indexing="ij"
+        )
+        # x-direction resistors
+        sel = ii < nx - 1
+        a = g.node_index(ii[sel], jj[sel], kk[sel])
+        b = g.node_index(ii[sel] + 1, jj[sel], kk[sel])
+        stamp(a, b, gx[kk[sel]])
+        # y-direction resistors
+        sel = jj < ny - 1
+        a = g.node_index(ii[sel], jj[sel], kk[sel])
+        b = g.node_index(ii[sel], jj[sel] + 1, kk[sel])
+        stamp(a, b, gy[kk[sel]])
+        # z-direction resistors
+        sel = kk < nz - 1
+        a = g.node_index(ii[sel], jj[sel], kk[sel])
+        b = g.node_index(ii[sel], jj[sel], kk[sel] + 1)
+        stamp(a, b, gz[kk[sel]])
+
+        # Dirichlet contact nodes just above the surface: eliminate them into
+        # the diagonal of the top node directly below (Section 2.2.1, choice 1).
+        g_top = g.top_dirichlet_conductance()
+        contact_cells = np.argwhere(g.top_contact_owner >= 0)
+        if contact_cells.size:
+            nodes = g.node_index(contact_cells[:, 0], contact_cells[:, 1], 0)
+            np.add.at(diag, nodes, g_top)
+
+        # Grounded backplane: Dirichlet nodes below the bottom plane at 0 V.
+        if g.profile.grounded_backplane:
+            g_bot = g.bottom_dirichlet_conductance()
+            ii2, jj2 = np.meshgrid(np.arange(nx), np.arange(ny), indexing="ij")
+            nodes = g.node_index(ii2.ravel(), jj2.ravel(), nz - 1)
+            np.add.at(diag, nodes, g_bot)
+
+        rows.append(np.arange(n))
+        cols.append(np.arange(n))
+        vals.append(diag)
+        mat = sparse.coo_matrix(
+            (np.concatenate(vals), (np.concatenate(rows), np.concatenate(cols))),
+            shape=(n, n),
+        )
+        return mat.tocsr()
+
+    # ------------------------------------------------------------------- rhs
+    def rhs_for_contact_voltages(self, voltages: np.ndarray) -> np.ndarray:
+        """Right-hand side vector for prescribed contact voltages."""
+        voltages = np.asarray(voltages, dtype=float)
+        b = np.zeros(self.grid.n_nodes)
+        for idx, nodes in enumerate(self.grid.contact_top_nodes):
+            b[nodes] += self._g_top * voltages[idx]
+        return b
+
+    def contact_currents(
+        self, voltages: np.ndarray, potentials: np.ndarray
+    ) -> np.ndarray:
+        """Contact currents from the solved nodal potentials.
+
+        The current into contact ``c`` is the sum over its Dirichlet resistors
+        of ``g_top * (V_c - phi_node)`` (Ohm's law at the contact branch).
+        """
+        voltages = np.asarray(voltages, dtype=float)
+        out = np.empty(self.grid.layout.n_contacts)
+        for idx, nodes in enumerate(self.grid.contact_top_nodes):
+            out[idx] = np.sum(self._g_top * (voltages[idx] - potentials[nodes]))
+        return out

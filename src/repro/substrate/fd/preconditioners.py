@@ -1,0 +1,139 @@
+"""Preconditioner factory for the finite-difference PCG solver.
+
+Section 2.2.2 compares incomplete-Cholesky preconditioning with fast-Poisson
+solver preconditioners (pure Dirichlet, pure Neumann and area-weighted top
+boundary).  This module exposes all of them behind one factory so the solver
+and the Table 2.1 benchmark can switch by name.
+
+The incomplete-Cholesky preconditioner is a zero-fill IC(0) factorisation
+(nonzeros of ``L`` restricted to the lower triangle of ``A``), exactly the
+preconditioner the paper describes in Section 2.2.2.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+from scipy import sparse
+from scipy.sparse.linalg import LinearOperator, spsolve_triangular
+
+from .assembly import FDAssembly
+from .fast_poisson import FastPoissonPreconditioner
+
+__all__ = ["make_preconditioner", "PRECONDITIONER_NAMES"]
+
+PRECONDITIONER_NAMES = (
+    "none",
+    "jacobi",
+    "ic",
+    "fast_poisson_dirichlet",
+    "fast_poisson_neumann",
+    "fast_poisson_area",
+)
+
+
+def _jacobi(matrix: sparse.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
+    diag = matrix.diagonal()
+    if np.any(diag <= 0):
+        raise ValueError("matrix diagonal must be positive for Jacobi preconditioning")
+    inv = 1.0 / diag
+
+    def apply(r: np.ndarray) -> np.ndarray:
+        return inv * r
+
+    return apply
+
+
+def incomplete_cholesky_factor(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
+    """Zero-fill incomplete Cholesky factor ``L`` with ``A ~ L L'``.
+
+    The factor keeps only the lower-triangular sparsity pattern of ``A``
+    (IC(0)).  The grid-of-resistors matrix is a symmetric M-matrix, for which
+    the factorisation is well defined; a small diagonal shift guards against
+    breakdowns caused by rounding.
+    """
+    a = sparse.csr_matrix(matrix)
+    n = a.shape[0]
+    lower_rows: list[dict[int, float]] = [dict() for _ in range(n)]
+    diag = np.zeros(n)
+    indptr, indices, data = a.indptr, a.indices, a.data
+    for i in range(n):
+        row_entries = {}
+        aii = 0.0
+        for ptr in range(indptr[i], indptr[i + 1]):
+            j = indices[ptr]
+            if j < i:
+                row_entries[j] = data[ptr]
+            elif j == i:
+                aii = data[ptr]
+        li = lower_rows[i]
+        for j in sorted(row_entries):
+            s = row_entries[j]
+            lj = lower_rows[j]
+            # subtract sum_k L[i,k] L[j,k] over the shared pattern
+            if len(li) <= len(lj):
+                s -= sum(v * lj[k] for k, v in li.items() if k in lj and k < j)
+            else:
+                s -= sum(v * li[k] for k, v in lj.items() if k in li and k < j)
+            li[j] = s / diag[j]
+        d2 = aii - sum(v * v for v in li.values())
+        if d2 <= 0.0:
+            d2 = max(1e-12 * abs(aii), 1e-300)
+        diag[i] = np.sqrt(d2)
+
+    rows: list[int] = []
+    cols: list[int] = []
+    vals: list[float] = []
+    for i in range(n):
+        for j, v in lower_rows[i].items():
+            rows.append(i)
+            cols.append(j)
+            vals.append(v)
+        rows.append(i)
+        cols.append(i)
+        vals.append(diag[i])
+    return sparse.csr_matrix((vals, (rows, cols)), shape=(n, n))
+
+
+def _incomplete_cholesky(matrix: sparse.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
+    factor = incomplete_cholesky_factor(matrix)
+    factor_t = sparse.csr_matrix(factor.T)
+
+    def apply(r: np.ndarray) -> np.ndarray:
+        y = spsolve_triangular(factor, r, lower=True)
+        return spsolve_triangular(factor_t, y, lower=False)
+
+    return apply
+
+
+def make_preconditioner(
+    name: str, assembly: FDAssembly
+) -> LinearOperator | None:
+    """Build the named preconditioner as a ``LinearOperator`` (or None).
+
+    Parameters
+    ----------
+    name:
+        One of :data:`PRECONDITIONER_NAMES`.
+    assembly:
+        The assembled finite-difference system.
+    """
+    n = assembly.grid.n_nodes
+    if name == "none":
+        return None
+    if name == "jacobi":
+        apply = _jacobi(assembly.matrix)
+    elif name == "ic":
+        apply = _incomplete_cholesky(assembly.matrix)
+    elif name == "fast_poisson_dirichlet":
+        apply = FastPoissonPreconditioner(assembly.grid, "dirichlet").solve
+    elif name == "fast_poisson_neumann":
+        apply = FastPoissonPreconditioner(assembly.grid, "neumann").solve
+    elif name == "fast_poisson_area":
+        apply = FastPoissonPreconditioner(assembly.grid, "area_weighted").solve
+    else:
+        raise ValueError(
+            f"unknown preconditioner {name!r}; expected one of {PRECONDITIONER_NAMES}"
+        )
+    return LinearOperator((n, n), matvec=apply, dtype=float)

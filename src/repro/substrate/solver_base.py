@@ -1,0 +1,114 @@
+"""Black-box substrate solver interface.
+
+The sparsification algorithms of Chapters 3 and 4 only require a *black box*
+that, given a vector of contact voltages, returns the vector of contact
+currents (``i = G v``).  This module defines that interface, a call-counting
+wrapper used to measure the solve-reduction factor, and a trivial
+dense-matrix-backed solver that is invaluable for testing.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Callable
+
+import numpy as np
+
+from ..geometry.contact import ContactLayout
+
+__all__ = ["SubstrateSolver", "CountingSolver", "DenseMatrixSolver", "CallableSolver"]
+
+
+class SubstrateSolver(abc.ABC):
+    """Abstract voltage-to-current substrate solver (the black box).
+
+    Implementations: :class:`~repro.substrate.bem.solver.EigenfunctionSolver`,
+    :class:`~repro.substrate.fd.solver.FiniteDifferenceSolver`, and
+    :class:`DenseMatrixSolver`.
+    """
+
+    #: the contact layout this solver was built for
+    layout: ContactLayout
+
+    @property
+    def n_contacts(self) -> int:
+        return self.layout.n_contacts
+
+    @abc.abstractmethod
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        """Return contact currents for the given contact voltages.
+
+        Parameters
+        ----------
+        voltages:
+            Length-``n`` vector of contact voltages.
+
+        Returns
+        -------
+        Length-``n`` vector of contact currents (current *into* each contact).
+        """
+
+    def apply(self, voltages: np.ndarray) -> np.ndarray:
+        """Alias of :meth:`solve_currents` (operator-style name)."""
+        return self.solve_currents(voltages)
+
+
+class CountingSolver(SubstrateSolver):
+    """Wrapper that counts black-box calls.
+
+    The solve-reduction factor reported in Tables 4.1 and 4.3 is
+    ``n_contacts / solve_count`` after an extraction run.
+    """
+
+    def __init__(self, inner: SubstrateSolver) -> None:
+        self.inner = inner
+        self.layout = inner.layout
+        self.solve_count = 0
+
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        self.solve_count += 1
+        return self.inner.solve_currents(voltages)
+
+    def reset(self) -> None:
+        """Reset the call counter."""
+        self.solve_count = 0
+
+    def solve_reduction_factor(self) -> float:
+        """``n / number of solves`` (naive extraction needs ``n`` solves)."""
+        if self.solve_count == 0:
+            return float("inf")
+        return self.n_contacts / self.solve_count
+
+
+class DenseMatrixSolver(SubstrateSolver):
+    """Black box backed by an explicit dense conductance matrix.
+
+    Used in tests (exact reference) and to wrap a pre-extracted ``G`` so the
+    sparsification algorithms can be studied independently of the underlying
+    physical solver.
+    """
+
+    def __init__(self, matrix: np.ndarray, layout: ContactLayout) -> None:
+        matrix = np.asarray(matrix, dtype=float)
+        if matrix.ndim != 2 or matrix.shape[0] != matrix.shape[1]:
+            raise ValueError("conductance matrix must be square")
+        if matrix.shape[0] != layout.n_contacts:
+            raise ValueError("matrix size does not match the number of contacts")
+        self.matrix = matrix
+        self.layout = layout
+
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        return self.matrix @ np.asarray(voltages, dtype=float)
+
+
+class CallableSolver(SubstrateSolver):
+    """Black box backed by an arbitrary callable ``v -> i``."""
+
+    def __init__(
+        self, func: Callable[[np.ndarray], np.ndarray], layout: ContactLayout
+    ) -> None:
+        self._func = func
+        self.layout = layout
+
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        return np.asarray(self._func(np.asarray(voltages, dtype=float)), dtype=float)

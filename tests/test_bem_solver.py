@@ -1,0 +1,91 @@
+"""Tests for the eigenfunction black-box substrate solver."""
+
+import numpy as np
+import pytest
+
+from repro import EigenfunctionSolver, SubstrateProfile, extract_dense, regular_grid
+from repro.substrate.extraction import check_conductance_properties, symmetry_error
+
+
+@pytest.fixture(scope="module")
+def tiny_layout():
+    return regular_grid(n_side=3, size=48.0, fill=0.5)
+
+
+@pytest.fixture(scope="module")
+def grounded_solver(tiny_layout):
+    profile = SubstrateProfile.two_layer_example(size=48.0, grounded_backplane=True)
+    return EigenfunctionSolver(tiny_layout, profile, max_panels=32)
+
+
+@pytest.fixture(scope="module")
+def floating_solver(tiny_layout):
+    profile = SubstrateProfile.two_layer_example(size=48.0, grounded_backplane=False)
+    return EigenfunctionSolver(tiny_layout, profile, max_panels=32)
+
+
+class TestGroundedBackplane:
+    def test_linearity(self, grounded_solver, rng):
+        v1 = rng.standard_normal(9)
+        v2 = rng.standard_normal(9)
+        lhs = grounded_solver.solve_currents(2.0 * v1 - 3.0 * v2)
+        rhs = 2.0 * grounded_solver.solve_currents(v1) - 3.0 * grounded_solver.solve_currents(v2)
+        assert np.allclose(lhs, rhs, rtol=1e-6, atol=1e-9)
+
+    def test_conductance_properties(self, grounded_solver):
+        g = extract_dense(grounded_solver)
+        checks = check_conductance_properties(g, grounded_backplane=True)
+        assert all(checks.values()), checks
+
+    def test_reciprocity(self, grounded_solver):
+        g = extract_dense(grounded_solver)
+        assert symmetry_error(g) < 1e-6
+
+    def test_coupling_decays_with_distance(self, grounded_solver):
+        g = extract_dense(grounded_solver)
+        # contact 0 couples more strongly to its neighbour (1) than to the far corner (8)
+        assert abs(g[0, 1]) > abs(g[0, 8])
+
+    def test_unit_voltage_on_all_contacts_pushes_current_into_backplane(self, grounded_solver):
+        currents = grounded_solver.solve_currents(np.ones(9))
+        assert np.all(currents > 0)
+
+    def test_wrong_input_length(self, grounded_solver):
+        with pytest.raises(ValueError):
+            grounded_solver.solve_currents(np.ones(4))
+
+    def test_iteration_stats_recorded(self, grounded_solver):
+        grounded_solver.solve_currents(np.ones(9))
+        assert grounded_solver.mean_iterations_per_solve() > 0
+
+
+class TestFloatingBackplane:
+    def test_currents_sum_to_zero(self, floating_solver, rng):
+        v = rng.standard_normal(9)
+        currents = floating_solver.solve_currents(v)
+        assert abs(currents.sum()) < 1e-6 * np.abs(currents).max()
+
+    def test_constant_voltage_offset_has_no_effect(self, floating_solver, rng):
+        v = rng.standard_normal(9)
+        i1 = floating_solver.solve_currents(v)
+        i2 = floating_solver.solve_currents(v + 5.0)
+        assert np.allclose(i1, i2, rtol=1e-5, atol=1e-6 * np.abs(i1).max())
+
+    def test_conductance_properties(self, floating_solver):
+        g = extract_dense(floating_solver, symmetrize=True)
+        checks = check_conductance_properties(
+            g, grounded_backplane=False, symmetry_tol=1e-5, dominance_tol=1e-5
+        )
+        assert all(checks.values()), checks
+
+
+class TestResistiveBottomEmulation:
+    def test_resistive_bottom_slows_decay(self, tiny_layout):
+        """The resistive-layer trick increases far-away coupling relative to nearby coupling."""
+        grounded = SubstrateProfile.two_layer_example(size=48.0, grounded_backplane=True)
+        emulated = SubstrateProfile.two_layer_example(size=48.0, resistive_bottom=True)
+        g1 = extract_dense(EigenfunctionSolver(tiny_layout, grounded, max_panels=32))
+        g2 = extract_dense(EigenfunctionSolver(tiny_layout, emulated, max_panels=32))
+        ratio1 = abs(g1[0, 8]) / abs(g1[0, 1])
+        ratio2 = abs(g2[0, 8]) / abs(g2[0, 1])
+        assert ratio2 > ratio1

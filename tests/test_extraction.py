@@ -1,0 +1,98 @@
+"""Tests for naive dense extraction and conductance-matrix property checks."""
+
+import numpy as np
+import pytest
+
+from repro import CountingSolver, DenseMatrixSolver, extract_dense, regular_grid
+from repro.substrate import CallableSolver
+from repro.substrate.extraction import (
+    check_conductance_properties,
+    diagonal_dominance_margin,
+    extract_columns,
+    symmetry_error,
+)
+
+
+@pytest.fixture(scope="module")
+def layout():
+    return regular_grid(n_side=3, size=48.0)
+
+
+@pytest.fixture(scope="module")
+def reference_matrix(rng_module=np.random.default_rng(3)):
+    a = rng_module.standard_normal((9, 9))
+    spd = a @ a.T + 9 * np.eye(9)
+    # make it look like a conductance matrix: negative off-diagonals
+    off = -np.abs(spd - np.diag(np.diag(spd)))
+    return np.diag(np.abs(off).sum(axis=1) + 1.0) + off
+
+
+class TestExtraction:
+    def test_extract_dense_recovers_matrix(self, layout, reference_matrix):
+        solver = DenseMatrixSolver(reference_matrix, layout)
+        g = extract_dense(solver)
+        assert np.allclose(g, reference_matrix)
+
+    def test_extract_counts_solves(self, layout, reference_matrix):
+        counting = CountingSolver(DenseMatrixSolver(reference_matrix, layout))
+        extract_dense(counting)
+        assert counting.solve_count == 9
+        assert counting.solve_reduction_factor() == pytest.approx(1.0)
+        counting.reset()
+        assert counting.solve_count == 0
+
+    def test_extract_columns(self, layout, reference_matrix):
+        solver = DenseMatrixSolver(reference_matrix, layout)
+        cols = np.array([0, 4, 8])
+        out = extract_columns(solver, cols)
+        assert np.allclose(out, reference_matrix[:, cols])
+
+    def test_symmetrize_option(self, layout):
+        asym = np.array([[2.0, -0.5], [-0.4, 2.0]])
+        small_layout = regular_grid(n_side=1, size=48.0).subset([0])
+        from repro.geometry import Contact, ContactLayout
+
+        two = ContactLayout([Contact(4, 4, 4, 4), Contact(30, 30, 4, 4)], 48, 48)
+        solver = DenseMatrixSolver(asym, two)
+        g = extract_dense(solver, symmetrize=True)
+        assert np.allclose(g, 0.5 * (asym + asym.T))
+
+    def test_callable_solver(self, layout, reference_matrix):
+        solver = CallableSolver(lambda v: reference_matrix @ v, layout)
+        assert np.allclose(extract_dense(solver), reference_matrix)
+
+    def test_dense_solver_validation(self, layout):
+        with pytest.raises(ValueError):
+            DenseMatrixSolver(np.ones((3, 4)), layout)
+        with pytest.raises(ValueError):
+            DenseMatrixSolver(np.ones((4, 4)), layout)
+
+
+class TestPropertyChecks:
+    def test_symmetry_error(self):
+        a = np.array([[1.0, 2.0], [2.0, 1.0]])
+        assert symmetry_error(a) == 0.0
+        b = np.array([[1.0, 2.0], [0.0, 1.0]])
+        assert symmetry_error(b) > 0
+
+    def test_dominance_margin(self):
+        g = np.array([[3.0, -1.0], [-1.0, 1.0]])
+        margins = diagonal_dominance_margin(g)
+        assert np.allclose(margins, [2.0, 0.0])
+
+    def test_checks_pass_for_valid_grounded_matrix(self, reference_matrix):
+        checks = check_conductance_properties(reference_matrix, grounded_backplane=True)
+        assert all(checks.values())
+
+    def test_checks_fail_for_positive_offdiagonal(self):
+        g = np.array([[2.0, 0.5], [0.5, 2.0]])
+        checks = check_conductance_properties(g, grounded_backplane=True)
+        assert not checks["negative_offdiagonal"]
+
+    def test_checks_floating_requires_zero_row_sums(self):
+        g = np.array([[1.0, -1.0], [-1.0, 1.0]])
+        checks = check_conductance_properties(g, grounded_backplane=False)
+        assert checks["rank_deficient_as_expected"]
+        g2 = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        checks2 = check_conductance_properties(g2, grounded_backplane=False)
+        assert not checks2["rank_deficient_as_expected"]

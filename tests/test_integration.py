@@ -1,0 +1,103 @@
+"""End-to-end integration tests: solver -> sparsification -> circuit use.
+
+These exercise the whole pipeline the way a downstream user would, on sizes
+small enough for the exact dense reference to be available.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    CountingSolver,
+    EigenfunctionSolver,
+    SquareHierarchy,
+    SubstrateProfile,
+    extract_dense,
+)
+from repro.analysis import evaluate_against_dense
+from repro.circuits import Circuit, MNASolver, SubstrateMacromodel
+from repro.core import WaveletSparsifier
+from repro.core.lowrank import LowRankSparsifier
+from repro.experiments import get_example, run_method_comparison, run_preconditioner_table
+
+
+class TestEndToEndPipeline:
+    def test_wavelet_pipeline_from_physical_solver(self, small_layout, small_profile):
+        """Extract with the real black box (not a cached G) and check accuracy."""
+        solver = EigenfunctionSolver(small_layout, small_profile, max_panels=64)
+        g_exact = extract_dense(solver, symmetrize=True)
+        hierarchy = SquareHierarchy(small_layout, max_level=3)
+        counting = CountingSolver(solver)
+        rep = WaveletSparsifier(hierarchy, order=2).extract(counting)
+        report = evaluate_against_dense(rep, g_exact)
+        assert report.max_relative_error < 0.05
+        assert counting.solve_count <= small_layout.n_contacts
+
+    def test_lowrank_pipeline_from_physical_solver(self, small_layout, small_profile):
+        solver = EigenfunctionSolver(small_layout, small_profile, max_panels=64)
+        g_exact = extract_dense(solver, symmetrize=True)
+        hierarchy = SquareHierarchy(small_layout, max_level=3)
+        counting = CountingSolver(solver)
+        sp = LowRankSparsifier(hierarchy, max_rank=6, seed=1)
+        sp.build(counting)
+        rep = sp.to_sparsified()
+        report = evaluate_against_dense(rep, g_exact)
+        assert report.max_relative_error < 0.20
+        assert report.fraction_above_10pct < 0.02
+
+    def test_sparsified_substrate_in_circuit(self, small_layout, small_g, small_hierarchy):
+        """The sparsified model predicts nearly the same coupled noise as the dense G."""
+        from repro import DenseMatrixSolver
+
+        rep = WaveletSparsifier(small_hierarchy, order=2).extract(
+            DenseMatrixSolver(small_g, small_layout)
+        )
+        nodes = [f"sub{i}" for i in range(small_layout.n_contacts)]
+        nodes[0] = "dig"
+        nodes[-1] = "ana"
+
+        def build(macro):
+            ckt = Circuit()
+            ckt.add_voltage_source("dig", "0", 1.0)
+            ckt.add_resistor("ana", "0", 1e4)
+            for name in nodes[1:-1]:
+                ckt.add_resistor(name, "0", 1e6)
+            ckt.add_substrate(macro)
+            return MNASolver(ckt)
+
+        sol_dense = build(SubstrateMacromodel(nodes, dense=small_g)).solve_dense()
+        sol_sparse = build(SubstrateMacromodel(nodes, sparsified=rep)).solve_sparsified()
+        v_dense = sol_dense.voltage("ana")
+        v_sparse = sol_sparse.voltage("ana")
+        assert v_dense > 0
+        assert v_sparse == pytest.approx(v_dense, rel=0.05)
+
+
+class TestExperimentRunners:
+    def test_method_comparison_runner_small(self):
+        config = get_example("ch4-2", n_side=8)
+        config.max_panels = 64
+        results = run_method_comparison(config)
+        assert set(results) == {"wavelet", "lowrank", "wavelet@lowrank-sparsity"}
+        lr = results["lowrank"]
+        wv_equal = results["wavelet@lowrank-sparsity"]
+        # unthresholded low-rank accuracy is good even on the difficult layout
+        assert lr.unthresholded.max_relative_error < 0.20
+        assert lr.unthresholded.n_contacts == 64
+        # Table 4.2 direction: at equal sparsity the wavelet method has far
+        # more entries off by >10% than the low-rank method
+        assert lr.thresholded.fraction_above_10pct < wv_equal.thresholded.fraction_above_10pct
+
+    def test_preconditioner_table_runner(self):
+        config = get_example("1b", n_side=4)
+        config.fd_resolution = (16, 16)
+        config.fd_planes_per_layer = (1, 2, 1)
+        rows = run_preconditioner_table(config, preconditioners=("fast_poisson_area", "jacobi"), n_solves=2)
+        by_name = {r["preconditioner"]: r for r in rows}
+        assert by_name["fast_poisson_area"]["mean_iterations"] < by_name["jacobi"]["mean_iterations"]
+
+    def test_example_lookup(self):
+        with pytest.raises(KeyError):
+            get_example("nope")
+        cfg = get_example("1a", n_side=8)
+        assert cfg.build_layout().n_contacts == 64

@@ -1,0 +1,91 @@
+"""Tests for the low-rank sparsification (Chapter 4)."""
+
+import numpy as np
+import pytest
+
+from repro import CountingSolver, DenseMatrixSolver
+from repro.analysis import evaluate_against_dense, fraction_above, max_relative_error
+from repro.core import WaveletSparsifier
+from repro.core.lowrank import LowRankSparsifier
+
+
+@pytest.fixture(scope="module")
+def built_small(small_hierarchy, small_g, small_layout):
+    counting = CountingSolver(DenseMatrixSolver(small_g, small_layout))
+    sp = LowRankSparsifier(small_hierarchy, max_rank=6, seed=2)
+    sp.build(counting)
+    rep = sp.to_sparsified()
+    return sp, rep, counting
+
+
+class TestRepresentation:
+    def test_q_orthogonal_and_complete(self, built_small, small_g):
+        _, rep, _ = built_small
+        q = rep.q.toarray()
+        assert q.shape == (small_g.shape[0], small_g.shape[0])
+        assert np.abs(q.T @ q - np.eye(q.shape[0])).max() < 1e-8
+
+    def test_accuracy_unthresholded(self, built_small, small_g):
+        _, rep, _ = built_small
+        assert max_relative_error(rep.to_dense(), small_g) < 0.15
+        assert fraction_above(rep.to_dense(), small_g, 0.10) < 0.01
+
+    def test_gw_symmetric(self, built_small):
+        _, rep, _ = built_small
+        gw = rep.gw.toarray()
+        assert np.abs(gw - gw.T).max() < 1e-6 * np.abs(gw).max()
+
+    def test_solves_counted(self, built_small, small_g):
+        sp, rep, counting = built_small
+        assert rep.n_solves == counting.solve_count == sp.n_solves
+        assert rep.n_solves <= small_g.shape[0] * 6
+
+    def test_to_sparsified_requires_build(self, small_hierarchy):
+        sp = LowRankSparsifier(small_hierarchy)
+        with pytest.raises(RuntimeError):
+            sp.to_sparsified()
+
+    def test_thresholding(self, built_small, small_g):
+        _, rep, _ = built_small
+        rept = rep.threshold_to_sparsity(rep.sparsity_factor() * 4)
+        assert rept.sparsity_factor() > rep.sparsity_factor()
+        assert fraction_above(rept.to_dense(), small_g, 0.10) < 0.10
+
+
+class TestAgainstWavelet:
+    """Tables 4.1/4.2: on alternating-size layouts the low-rank method wins."""
+
+    @pytest.fixture(scope="class")
+    def comparison(self, alternating_hierarchy, alternating_g, alternating_layout):
+        solver = DenseMatrixSolver(alternating_g, alternating_layout)
+        lowrank = LowRankSparsifier(alternating_hierarchy, max_rank=6, seed=0)
+        lowrank.build(CountingSolver(solver))
+        rep_lr = lowrank.to_sparsified()
+        wavelet = WaveletSparsifier(alternating_hierarchy, order=2)
+        rep_wv = wavelet.extract(CountingSolver(solver))
+        return rep_lr, rep_wv
+
+    def test_lowrank_more_accurate_on_alternating_sizes(self, comparison, alternating_g):
+        rep_lr, rep_wv = comparison
+        err_lr = max_relative_error(rep_lr.to_dense(), alternating_g)
+        err_wv = max_relative_error(rep_wv.to_dense(), alternating_g)
+        assert err_lr < err_wv
+
+    def test_lowrank_unthresholded_accuracy(self, comparison, alternating_g):
+        rep_lr, _ = comparison
+        report = evaluate_against_dense(rep_lr, alternating_g)
+        assert report.max_relative_error < 0.30
+        assert report.fraction_above_10pct < 0.02
+
+    def test_lowrank_not_less_sparse(self, comparison):
+        rep_lr, rep_wv = comparison
+        assert rep_lr.sparsity_factor() >= rep_wv.sparsity_factor() * 0.9
+
+    def test_thresholded_comparison_matches_paper_direction(self, comparison, alternating_g):
+        """Table 4.2: at equal sparsity the wavelet method has far more bad entries."""
+        rep_lr, rep_wv = comparison
+        rep_lr_t = rep_lr.threshold_to_sparsity(rep_lr.sparsity_factor() * 6)
+        rep_wv_t = rep_wv.threshold_to_sparsity(rep_lr_t.sparsity_factor())
+        frac_lr = fraction_above(rep_lr_t.to_dense(), alternating_g, 0.10)
+        frac_wv = fraction_above(rep_wv_t.to_dense(), alternating_g, 0.10)
+        assert frac_lr < frac_wv

@@ -1,0 +1,75 @@
+"""Tests for the accuracy/sparsity metrics."""
+
+import numpy as np
+import pytest
+from scipy import sparse
+
+from repro.analysis import (
+    AccuracyReport,
+    evaluate_against_columns,
+    evaluate_against_dense,
+    fraction_above,
+    max_relative_error,
+    naive_threshold_sparsity,
+    relative_error_matrix,
+)
+from repro.core.sparsified import SparsifiedConductance
+
+
+class TestErrorMeasures:
+    def test_relative_error_matrix(self):
+        exact = np.array([[2.0, 1.0], [1.0, 2.0]])
+        approx = np.array([[2.2, 1.0], [1.0, 1.0]])
+        err = relative_error_matrix(approx, exact)
+        assert err[0, 0] == pytest.approx(0.1)
+        assert err[1, 1] == pytest.approx(0.5)
+
+    def test_zero_exact_entries_use_fallback(self):
+        exact = np.array([[0.0, 4.0], [4.0, 0.0]])
+        approx = np.array([[1.0, 4.0], [4.0, 0.0]])
+        err = relative_error_matrix(approx, exact)
+        assert np.isfinite(err).all()
+        assert err[0, 0] == pytest.approx(0.25)
+
+    def test_max_and_fraction(self):
+        exact = np.ones((3, 3))
+        approx = np.ones((3, 3))
+        approx[0, 0] = 1.5
+        assert max_relative_error(approx, exact) == pytest.approx(0.5)
+        assert fraction_above(approx, exact, 0.1) == pytest.approx(1 / 9)
+
+    def test_naive_threshold_sparsity(self):
+        g = np.eye(10) * 10.0
+        g[0, 9] = g[9, 0] = -1.0
+        g[0, 1] = g[1, 0] = -0.001
+        sparsity = naive_threshold_sparsity(g, 0.10)
+        assert sparsity > 1.0
+
+
+class TestReports:
+    def _identity_rep(self, g):
+        n = g.shape[0]
+        return SparsifiedConductance(sparse.eye(n).tocsr(), sparse.csr_matrix(g), n_solves=n, method="id")
+
+    def test_exact_representation_reports_zero_error(self, rng):
+        g = rng.standard_normal((8, 8))
+        g = g @ g.T + 8 * np.eye(8)
+        rep = self._identity_rep(g)
+        report = evaluate_against_dense(rep, g)
+        assert report.max_relative_error < 1e-12
+        assert report.fraction_above_10pct == 0.0
+        assert report.n_contacts == 8
+
+    def test_column_evaluation_matches_dense_for_exact(self, rng):
+        g = rng.standard_normal((10, 10))
+        g = g @ g.T + 10 * np.eye(10)
+        rep = self._identity_rep(g)
+        cols = np.array([0, 3, 7])
+        report = evaluate_against_columns(rep, cols, g[:, cols])
+        assert report.max_relative_error < 1e-12
+
+    def test_report_str_and_dict(self):
+        report = AccuracyReport("m", 10, 2.0, 3.0, 0.01, 0.001, 5, 2.0)
+        assert "m" in str(report)
+        d = report.as_dict()
+        assert d["sparsity_factor"] == 2.0

@@ -1,0 +1,79 @@
+"""Tests for polynomial moments and moment-shift matrices."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.moments import (
+    contact_moment_matrix,
+    moment_count,
+    moment_orders,
+    moment_shift_matrix,
+)
+from repro.geometry import Contact, ContactLayout
+
+
+class TestOrders:
+    @pytest.mark.parametrize("p,count", [(0, 1), (1, 3), (2, 6), (3, 10)])
+    def test_moment_count(self, p, count):
+        assert moment_count(p) == count
+        assert len(moment_orders(p)) == count
+
+    def test_orders_graded(self):
+        orders = moment_orders(2)
+        assert orders[0] == (0, 0)
+        assert set(orders) == {(0, 0), (1, 0), (0, 1), (2, 0), (1, 1), (0, 2)}
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(ValueError):
+            moment_orders(-1)
+
+
+class TestContactMomentMatrix:
+    def test_zeroth_row_is_area(self):
+        layout = ContactLayout([Contact(0, 0, 2, 3), Contact(5, 5, 1, 1)], 16, 16)
+        m = contact_moment_matrix(layout, np.array([0, 1]), (0.0, 0.0), 2)
+        assert m.shape == (6, 2)
+        assert np.allclose(m[0], [6.0, 1.0])
+
+    def test_voltage_vector_moments_are_linear(self):
+        layout = ContactLayout([Contact(0, 0, 2, 2), Contact(4, 0, 2, 2)], 16, 16)
+        m = contact_moment_matrix(layout, np.array([0, 1]), (3.0, 1.0), 2)
+        v = np.array([2.0, -1.0])
+        expected = 2.0 * m[:, 0] - 1.0 * m[:, 1]
+        assert np.allclose(m @ v, expected)
+
+
+class TestShiftMatrix:
+    def test_identity_for_zero_shift(self):
+        s = moment_shift_matrix((1.0, 2.0), (1.0, 2.0), 2)
+        assert np.allclose(s, np.eye(6))
+
+    def test_shift_matches_direct_computation(self):
+        layout = ContactLayout([Contact(1.0, 2.0, 3.0, 2.0)], 16, 16)
+        old_center = (2.0, 3.0)
+        new_center = (0.5, 1.0)
+        m_old = contact_moment_matrix(layout, np.array([0]), old_center, 2)
+        m_new = contact_moment_matrix(layout, np.array([0]), new_center, 2)
+        shift = moment_shift_matrix(old_center, new_center, 2)
+        assert np.allclose(shift @ m_old, m_new, rtol=1e-12)
+
+    @settings(max_examples=30, deadline=None)
+    @given(
+        dx1=st.floats(-5, 5), dy1=st.floats(-5, 5),
+        dx2=st.floats(-5, 5), dy2=st.floats(-5, 5),
+    )
+    def test_property_shift_composition(self, dx1, dy1, dx2, dy2):
+        """Shifting A->B then B->C equals shifting A->C."""
+        a = (0.0, 0.0)
+        b = (dx1, dy1)
+        c = (dx1 + dx2, dy1 + dy2)
+        s_ab = moment_shift_matrix(a, b, 2)
+        s_bc = moment_shift_matrix(b, c, 2)
+        s_ac = moment_shift_matrix(a, c, 2)
+        assert np.allclose(s_bc @ s_ab, s_ac, atol=1e-8)
+
+    def test_shift_invertible(self):
+        s = moment_shift_matrix((0.0, 0.0), (2.0, -1.0), 2)
+        s_inv = moment_shift_matrix((2.0, -1.0), (0.0, 0.0), 2)
+        assert np.allclose(s @ s_inv, np.eye(6), atol=1e-12)

@@ -1,0 +1,65 @@
+"""Tests for the panel discretisation of the top surface."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import Contact, ContactLayout, PanelGrid, regular_grid
+
+
+@pytest.fixture(scope="module")
+def grid():
+    return PanelGrid(regular_grid(n_side=4, size=64.0, fill=0.5), 32, 32)
+
+
+class TestAssignment:
+    def test_every_contact_gets_panels(self, grid):
+        assert all(p.size > 0 for p in grid.contact_panels)
+
+    def test_panel_owners_consistent(self, grid):
+        for idx, panels in enumerate(grid.contact_panels):
+            assert np.all(grid.panel_to_contact[panels] == idx)
+
+    def test_contact_panel_count_matches_area(self, grid):
+        # a contact of side 8 on a 2-unit panel grid covers 4x4 panels
+        assert all(p.size == 16 for p in grid.contact_panels)
+
+    def test_tiny_contact_snaps_to_nearest_panel(self):
+        layout = ContactLayout([Contact(10.05, 10.05, 0.2, 0.2)], 64.0, 64.0)
+        grid = PanelGrid(layout, 16, 16)
+        assert grid.contact_panels[0].size == 1
+
+    def test_too_coarse_grid_rejected(self):
+        with pytest.raises(ValueError):
+            PanelGrid(regular_grid(n_side=4, size=64.0), 1, 8)
+
+    def test_for_layout_resolves_smallest_contact(self):
+        layout = regular_grid(n_side=8, size=128.0, fill=0.25)
+        grid = PanelGrid.for_layout(layout, panels_per_min_contact=2, max_panels=256)
+        min_side = min(min(c.width, c.height) for c in layout.contacts)
+        assert grid.hx <= min_side / 2 + 1e-9
+
+
+class TestValueTransfer:
+    def test_spread_then_sum_roundtrip(self, grid):
+        values = np.arange(1.0, grid.layout.n_contacts + 1)
+        panel_vals = grid.spread_contact_values(values)
+        # summing panel values counts each panel once
+        sums = grid.sum_panel_values(panel_vals)
+        sizes = np.array([p.size for p in grid.contact_panels])
+        assert np.allclose(sums, values * sizes)
+
+    def test_spread_requires_correct_length(self, grid):
+        with pytest.raises(ValueError):
+            grid.spread_contact_values(np.ones(3))
+
+    def test_incidence_matrix_shape_and_content(self, grid):
+        inc = grid.contact_incidence()
+        assert inc.shape == (grid.n_contact_panels, grid.layout.n_contacts)
+        assert np.allclose(inc.sum(axis=0), [p.size for p in grid.contact_panels])
+        assert np.allclose(inc.sum(axis=1), 1.0)
+
+    def test_panel_centers(self, grid):
+        centers = grid.panel_centers()
+        assert centers.shape == (grid.n_panels, 2)
+        assert centers[:, 0].min() == pytest.approx(grid.hx / 2)
+        assert centers[:, 1].max() == pytest.approx(64.0 - grid.hy / 2)

@@ -1,0 +1,69 @@
+"""Cross-cutting property-based tests on the core data structures."""
+
+import numpy as np
+from hypothesis import given, settings, strategies as st
+from scipy import sparse
+
+from repro.core.sparsified import SparsifiedConductance
+from repro.geometry import Contact, ContactLayout, SquareHierarchy, regular_grid
+
+
+@settings(max_examples=30, deadline=None)
+@given(
+    x=st.floats(0.0, 100.0), y=st.floats(0.0, 100.0),
+    w=st.floats(0.5, 30.0), h=st.floats(0.5, 30.0),
+    pitch=st.floats(1.0, 16.0),
+)
+def test_property_gridline_split_preserves_area_and_bounds(x, y, w, h, pitch):
+    """Splitting at gridlines preserves total area and never leaves the original box."""
+    c = Contact(x, y, w, h)
+    pieces = c.split_at_gridlines(pitch)
+    assert np.isclose(sum(p.area for p in pieces), c.area, rtol=1e-9)
+    for p in pieces:
+        assert p.x >= c.x - 1e-9 and p.x2 <= c.x2 + 1e-9
+        assert p.y >= c.y - 1e-9 and p.y2 <= c.y2 + 1e-9
+        # every piece fits in one gridline cell
+        assert np.floor(p.x / pitch + 1e-9) == np.floor((p.x2 - 1e-9) / pitch) or p.width <= pitch + 1e-9
+
+
+@settings(max_examples=20, deadline=None)
+@given(n_side=st.sampled_from([4, 8, 16]))
+def test_property_hierarchy_levels_partition_contacts(n_side):
+    """At every level the non-empty squares partition the full contact set."""
+    layout = regular_grid(n_side=n_side, size=128.0, fill=0.5)
+    hier = SquareHierarchy(layout, max_level=max(2, n_side.bit_length() - 1))
+    for level in hier.levels():
+        squares = hier.squares_at_level(level)
+        all_contacts = np.concatenate([s.contact_indices for s in squares])
+        assert np.array_equal(np.sort(all_contacts), np.arange(layout.n_contacts))
+        assert all_contacts.size == np.unique(all_contacts).size
+
+
+@settings(max_examples=20, deadline=None)
+@given(seed=st.integers(0, 1000), scale=st.floats(0.1, 10.0))
+def test_property_sparsified_apply_is_linear_and_symmetric(seed, scale):
+    """Q Gw Q' with symmetric Gw is a symmetric linear operator."""
+    rng = np.random.default_rng(seed)
+    n = 12
+    q, _ = np.linalg.qr(rng.standard_normal((n, n)))
+    gw = rng.standard_normal((n, n))
+    gw = scale * 0.5 * (gw + gw.T)
+    rep = SparsifiedConductance(sparse.csr_matrix(q), sparse.csr_matrix(gw))
+    x, y = rng.standard_normal(n), rng.standard_normal(n)
+    assert np.isclose(y @ rep.apply(x), x @ rep.apply(y), rtol=1e-9, atol=1e-9)
+    assert np.allclose(rep.apply(2.0 * x + y), 2.0 * rep.apply(x) + rep.apply(y), rtol=1e-9)
+
+
+@settings(max_examples=15, deadline=None)
+@given(
+    n_keep=st.integers(3, 10),
+    seed=st.integers(0, 100),
+)
+def test_property_layout_subset_preserves_contacts(n_keep, seed):
+    layout = regular_grid(n_side=4, size=64.0)
+    rng = np.random.default_rng(seed)
+    idx = rng.choice(16, size=min(n_keep, 16), replace=False)
+    sub = layout.subset(idx.tolist())
+    assert sub.n_contacts == idx.size
+    for k, i in enumerate(idx):
+        assert sub[k] == layout[int(i)]

@@ -1,0 +1,99 @@
+"""Tests for the multilevel row-basis representation (Section 4.3)."""
+
+import numpy as np
+import pytest
+
+from repro import CountingSolver, DenseMatrixSolver, SquareHierarchy
+from repro.geometry import two_square_clusters
+from repro.analysis import max_relative_error
+from repro.core.rowbasis import MultilevelRowBasis, interaction_singular_values
+
+
+class TestInteractionSVD:
+    """Figure 4-3: well-separated interactions are numerically low-rank."""
+
+    def test_separated_block_decays_faster_than_self_block(self, small_g, small_hierarchy):
+        hier = small_hierarchy
+        finest = hier.squares_at_level(hier.max_level)
+        src = finest[0]
+        # find a well-separated square on the same level
+        far = None
+        for cand in finest[::-1]:
+            if not hier.are_local(src, cand):
+                far = cand
+                break
+        s_self = interaction_singular_values(small_g, src.contact_indices, src.contact_indices)
+        s_far = interaction_singular_values(small_g, src.contact_indices, far.contact_indices)
+        # normalised decay: the separated block loses orders of magnitude quickly
+        if s_far.size > 1 and s_self.size > 1:
+            assert s_far[-1] / s_far[0] < s_self[-1] / s_self[0]
+
+    def test_two_cluster_example_rank_deficiency(self, small_profile):
+        """The 2-cluster layout of Fig. 4-2/4-3: separated block is near rank-deficient."""
+        from repro import EigenfunctionSolver, extract_dense
+
+        layout = two_square_clusters(size=64.0, n_per_cluster=9, separation_cells=3)
+        solver = EigenfunctionSolver(
+            layout,
+            small_profile.__class__.two_layer_example(size=64.0, resistive_bottom=True),
+            max_panels=64,
+        )
+        g = extract_dense(solver, symmetrize=True)
+        src = np.arange(9)
+        dst = np.arange(9, 18)
+        s_self = interaction_singular_values(g, src, src)
+        s_far = interaction_singular_values(g, src, dst)
+        assert s_far[3] / s_far[0] < 1e-2
+        assert s_self[3] / s_self[0] > 1e-2
+
+
+class TestRowBasisRepresentation:
+    @pytest.fixture(scope="class")
+    def built(self, small_hierarchy, small_g, small_layout):
+        counting = CountingSolver(DenseMatrixSolver(small_g, small_layout))
+        rb = MultilevelRowBasis(small_hierarchy, max_rank=6, seed=1)
+        rb.build(counting)
+        return rb, counting
+
+    def test_apply_accuracy(self, built, small_g):
+        rb, _ = built
+        approx = rb.to_dense()
+        assert max_relative_error(approx, small_g) < 0.10
+
+    def test_apply_matches_apply_block(self, built, rng):
+        rb, _ = built
+        v = rng.standard_normal(rb.hierarchy.layout.n_contacts)
+        assert np.allclose(rb.apply(v), rb.apply_block(v[:, None])[:, 0])
+
+    def test_rank_capped(self, built):
+        rb, _ = built
+        assert all(data.rank <= 6 for data in rb.data.values())
+
+    def test_storage_smaller_than_dense(self, built, small_g):
+        rb, _ = built
+        assert rb.storage_nonzeros() < 4 * small_g.size  # loose bound at this tiny size
+
+    def test_solve_count_recorded(self, built):
+        rb, counting = built
+        assert rb.n_solves == counting.solve_count
+        assert rb.n_solves > 0
+
+    def test_apply_before_build_raises(self, small_hierarchy):
+        rb = MultilevelRowBasis(small_hierarchy)
+        with pytest.raises(RuntimeError):
+            rb.apply(np.zeros(small_hierarchy.layout.n_contacts))
+
+    def test_row_basis_orthonormal(self, built):
+        rb, _ = built
+        for data in rb.data.values():
+            if data.rank:
+                gram = data.v.T @ data.v
+                assert np.allclose(gram, np.eye(data.rank), atol=1e-10)
+
+    def test_linearity_of_apply(self, built, rng):
+        rb, _ = built
+        n = rb.hierarchy.layout.n_contacts
+        v1, v2 = rng.standard_normal(n), rng.standard_normal(n)
+        lhs = rb.apply(2.0 * v1 - 0.5 * v2)
+        rhs = 2.0 * rb.apply(v1) - 0.5 * rb.apply(v2)
+        assert np.allclose(lhs, rhs, rtol=1e-10, atol=1e-12)

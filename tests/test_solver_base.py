@@ -1,0 +1,47 @@
+"""Tests for the black-box solver interface and wrappers."""
+
+import numpy as np
+import pytest
+
+from repro import CountingSolver, DenseMatrixSolver
+from repro.geometry import Contact, ContactLayout
+from repro.substrate import CallableSolver
+
+
+@pytest.fixture
+def two_contact_layout():
+    return ContactLayout([Contact(2, 2, 4, 4), Contact(20, 20, 4, 4)], 32, 32)
+
+
+class TestDenseMatrixSolver:
+    def test_apply_alias(self, two_contact_layout):
+        g = np.array([[2.0, -1.0], [-1.0, 2.0]])
+        solver = DenseMatrixSolver(g, two_contact_layout)
+        v = np.array([1.0, 0.0])
+        assert np.allclose(solver.apply(v), solver.solve_currents(v))
+        assert solver.n_contacts == 2
+
+    def test_rejects_nonsquare(self, two_contact_layout):
+        with pytest.raises(ValueError):
+            DenseMatrixSolver(np.ones((2, 3)), two_contact_layout)
+
+
+class TestCountingSolver:
+    def test_counts_and_reduction(self, two_contact_layout):
+        g = np.eye(2)
+        counting = CountingSolver(DenseMatrixSolver(g, two_contact_layout))
+        assert counting.solve_reduction_factor() == float("inf")
+        counting.solve_currents(np.ones(2))
+        counting.solve_currents(np.ones(2))
+        assert counting.solve_count == 2
+        assert counting.solve_reduction_factor() == pytest.approx(1.0)
+
+    def test_forwards_layout(self, two_contact_layout):
+        counting = CountingSolver(DenseMatrixSolver(np.eye(2), two_contact_layout))
+        assert counting.layout is two_contact_layout
+
+
+class TestCallableSolver:
+    def test_wraps_function(self, two_contact_layout):
+        solver = CallableSolver(lambda v: 3.0 * v, two_contact_layout)
+        assert np.allclose(solver.solve_currents(np.array([1.0, 2.0])), [3.0, 6.0])

@@ -1,0 +1,57 @@
+"""Tests for the sparsity-pattern (spy) utilities."""
+
+import numpy as np
+from scipy import sparse
+
+from repro.analysis.spy import bandwidth_profile, spy_statistics, spy_text
+
+
+class TestSpyStatistics:
+    def test_identity_statistics(self):
+        stats = spy_statistics(sparse.eye(50))
+        assert stats["nnz"] == 50
+        assert stats["fraction_on_diagonal"] == 1.0
+        assert stats["sparsity_factor"] == 50.0
+
+    def test_dense_statistics(self):
+        stats = spy_statistics(np.ones((10, 10)))
+        assert stats["density"] == 1.0
+        assert stats["sparsity_factor"] == 1.0
+
+    def test_empty_matrix(self):
+        stats = spy_statistics(sparse.csr_matrix((5, 5)))
+        assert stats["nnz"] == 0
+        assert stats["sparsity_factor"] == float("inf")
+
+
+class TestSpyText:
+    def test_render_dimensions(self):
+        text = spy_text(sparse.eye(100), width=20)
+        lines = text.splitlines()
+        assert len(lines) == 20
+        assert all(len(line) == 20 for line in lines)
+
+    def test_diagonal_pattern_visible(self):
+        text = spy_text(sparse.eye(64), width=8)
+        lines = text.splitlines()
+        for k, line in enumerate(lines):
+            assert line[k] == "#"
+
+    def test_small_matrix(self):
+        text = spy_text(np.array([[1.0, 0.0], [0.0, 1.0]]), width=16)
+        assert "#" in text
+
+
+class TestBandwidthProfile:
+    def test_diagonal_matrix_all_mass_in_first_bin(self):
+        profile = bandwidth_profile(sparse.eye(40), n_bins=8)
+        assert profile[0] == 1.0
+        assert np.isclose(profile.sum(), 1.0)
+
+    def test_dense_matrix_spreads_mass(self):
+        profile = bandwidth_profile(np.ones((40, 40)), n_bins=8)
+        assert profile[0] < 1.0
+        assert np.isclose(profile.sum(), 1.0)
+
+    def test_empty(self):
+        assert np.allclose(bandwidth_profile(sparse.csr_matrix((5, 5))), 0.0)

@@ -1,0 +1,93 @@
+"""Tests for the DCT current-to-potential operator (Figure 2-6)."""
+
+import numpy as np
+import pytest
+
+from repro.geometry import PanelGrid, regular_grid
+from repro.substrate import SubstrateProfile
+from repro.substrate.bem import SurfaceOperator
+
+
+@pytest.fixture(scope="module")
+def setup():
+    layout = regular_grid(n_side=4, size=64.0, fill=0.5)
+    profile = SubstrateProfile.two_layer_example(size=64.0)
+    grid = PanelGrid(layout, 16, 16)
+    return layout, profile, grid
+
+
+class TestApplyPaths:
+    def test_fft_matches_matrix_path(self, setup, rng):
+        _, profile, grid = setup
+        op_fft = SurfaceOperator(grid, profile, use_fft=True)
+        op_mat = SurfaceOperator(grid, profile, use_fft=False)
+        q = rng.standard_normal((grid.nx, grid.ny))
+        assert np.allclose(op_fft.apply_grid(q), op_mat.apply_grid(q), rtol=1e-10, atol=1e-12)
+
+    def test_apply_flat_consistent(self, setup, rng):
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        q = rng.standard_normal(grid.n_panels)
+        flat = op.apply_flat(q)
+        grid_result = op.apply_grid(q.reshape(grid.nx, grid.ny)).ravel()
+        assert np.allclose(flat, grid_result)
+
+    def test_wrong_shape_rejected(self, setup):
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        with pytest.raises(ValueError):
+            op.apply_grid(np.zeros((3, 3)))
+
+    def test_size_mismatch_rejected(self, setup):
+        layout, _, grid = setup
+        wrong = SubstrateProfile.two_layer_example(size=100.0)
+        with pytest.raises(ValueError):
+            SurfaceOperator(grid, wrong)
+
+
+class TestOperatorProperties:
+    def test_symmetry(self, setup, rng):
+        """<y, A x> == <A y, x> (the operator is self-adjoint)."""
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        x = rng.standard_normal(grid.n_panels)
+        y = rng.standard_normal(grid.n_panels)
+        assert np.isclose(y @ op.apply_flat(x), x @ op.apply_flat(y), rtol=1e-10)
+
+    def test_positive_semidefinite(self, setup, rng):
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        for _ in range(5):
+            x = rng.standard_normal(grid.n_panels)
+            assert x @ op.apply_flat(x) >= -1e-10
+
+    def test_uniform_current_gives_uniform_potential(self, setup):
+        """A uniform current density excites only the (0,0) mode."""
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        q = np.ones((grid.nx, grid.ny))
+        v = op.apply_grid(q)
+        assert np.allclose(v, v[0, 0], rtol=1e-10)
+        expected = grid.nx * grid.ny * op.weights[0, 0]
+        assert np.isclose(v[0, 0], expected, rtol=1e-10)
+
+    def test_contact_block_diagonal_matches_dense(self, setup):
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        dense = op.dense_contact_block()
+        assert np.allclose(np.diag(dense), op.contact_block_diagonal(), rtol=1e-9)
+
+    def test_dense_contact_block_symmetric_spd(self, setup):
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        a = op.dense_contact_block()
+        assert np.allclose(a, a.T, rtol=1e-9, atol=1e-12)
+        eigs = np.linalg.eigvalsh(0.5 * (a + a.T))
+        assert eigs.min() > 0
+
+    def test_nearby_panels_couple_more_strongly(self, setup):
+        _, profile, grid = setup
+        op = SurfaceOperator(grid, profile)
+        a = op.dense_contact_block()
+        # potential at a panel from its own current exceeds that from a distant panel
+        assert a[0, 0] > abs(a[0, -1])

@@ -1,0 +1,100 @@
+"""Tests for the multilevel vanishing-moment basis (Section 3.4)."""
+
+import numpy as np
+import pytest
+
+from repro.core.moments import contact_moment_matrix
+from repro.core.wavelet_basis import WaveletBasis
+from repro.geometry import SquareHierarchy, alternating_size_grid, irregular_same_size, regular_grid
+
+
+@pytest.fixture(scope="module")
+def basis(small_hier=None):
+    layout = regular_grid(n_side=8, size=128.0, fill=0.5)
+    hier = SquareHierarchy(layout, max_level=3)
+    return WaveletBasis(hier, order=2)
+
+
+class TestStructure:
+    def test_q_is_square_and_orthogonal(self, basis):
+        assert basis.check_completeness()
+        assert basis.check_orthogonality() < 1e-10
+
+    def test_column_count_matches_contacts(self, basis):
+        assert basis.n_columns == basis.hierarchy.layout.n_contacts
+
+    def test_nonvanishing_count_bounded_by_moments(self, basis):
+        for sb in basis.squares.values():
+            assert sb.n_nonvanishing <= basis.n_moments
+
+    def test_root_v_columns_exist(self, basis):
+        assert basis.root_v_columns().size > 0
+
+    def test_column_lookup_covers_all_columns(self, basis):
+        total = basis.root_v_columns().size
+        for key in basis.squares:
+            total += basis.w_columns(key).size
+        assert total == basis.n_columns
+
+    def test_column_supports_respect_squares(self, basis):
+        q = basis.q_matrix.tocsc()
+        hier = basis.hierarchy
+        for idx, col in enumerate(basis.columns):
+            if col.kind != "W":
+                continue
+            sq = hier.get(col.square_key)
+            support = q.indices[q.indptr[idx]: q.indptr[idx + 1]]
+            assert set(support) <= set(sq.contact_indices)
+
+
+class TestVanishingMoments:
+    def test_w_columns_have_vanishing_moments(self, basis):
+        """Every W basis function has all moments of order <= p equal to zero."""
+        hier = basis.hierarchy
+        layout = hier.layout
+        for key, sb in basis.squares.items():
+            if sb.n_vanishing == 0:
+                continue
+            sq = hier.get(key)
+            center = sq.center(hier.size_x, hier.size_y)
+            m = contact_moment_matrix(layout, sb.contact_indices, center, 2)
+            residual = m @ sb.W
+            scale = np.abs(m).max() + 1e-30
+            assert np.abs(residual).max() < 1e-8 * scale
+
+    def test_v_columns_orthonormal(self, basis):
+        for sb in basis.squares.values():
+            if sb.n_nonvanishing:
+                gram = sb.V.T @ sb.V
+                assert np.allclose(gram, np.eye(sb.n_nonvanishing), atol=1e-10)
+
+    def test_v_and_w_orthogonal(self, basis):
+        for sb in basis.squares.values():
+            if sb.n_nonvanishing and sb.n_vanishing:
+                assert np.abs(sb.V.T @ sb.W).max() < 1e-10
+
+
+class TestDifferentLayouts:
+    @pytest.mark.parametrize("factory", [
+        lambda: irregular_same_size(n_side=8, size=128.0, seed=2),
+        lambda: alternating_size_grid(n_side=8, size=128.0),
+    ])
+    def test_orthogonal_complete_for_irregular_layouts(self, factory):
+        layout = factory()
+        hier = SquareHierarchy(layout, max_level=3)
+        basis = WaveletBasis(hier, order=2)
+        assert basis.check_completeness()
+        assert basis.check_orthogonality() < 1e-9
+
+    def test_order_zero_basis(self):
+        layout = regular_grid(n_side=8, size=128.0)
+        hier = SquareHierarchy(layout, max_level=3)
+        basis = WaveletBasis(hier, order=0)
+        assert basis.check_completeness()
+        assert basis.check_orthogonality() < 1e-10
+        # with p=0 each 4-contact square yields 3 vanishing vectors (Figure 3-2)
+        finest_counts = [
+            basis.squares[sq.key].n_nonvanishing
+            for sq in hier.squares_at_level(hier.max_level)
+        ]
+        assert max(finest_counts) <= 1
