@@ -8,10 +8,12 @@ can reference them.  The problem scale defaults to 16 contacts per side
 
 from __future__ import annotations
 
+import json
 import os
 from pathlib import Path
 
 RESULTS_DIR = Path(__file__).parent / "results"
+REPO_ROOT = Path(__file__).parent.parent
 
 
 def bench_n_side(default: int = 16) -> int:
@@ -26,6 +28,24 @@ def write_result(name: str, lines: list[str]) -> str:
     (RESULTS_DIR / f"{name}.txt").write_text(text)
     print("\n" + text)
     return text
+
+
+def write_json(name: str, payload: dict, root_copy: bool = False) -> Path:
+    """Persist a machine-readable benchmark result as JSON.
+
+    Writes ``benchmarks/results/<name>.json``; with ``root_copy`` the same
+    document is also written to ``<repo root>/<name>.json`` so headline
+    artefacts (e.g. ``BENCH_batched.json``) are discoverable without knowing
+    the results layout.  Returns the results-dir path.
+    """
+    RESULTS_DIR.mkdir(exist_ok=True)
+    text = json.dumps(payload, indent=2, sort_keys=True) + "\n"
+    path = RESULTS_DIR / f"{name}.json"
+    path.write_text(text)
+    if root_copy:
+        (REPO_ROOT / f"{name}.json").write_text(text)
+    print(text)
+    return path
 
 
 def format_report_row(label: str, report) -> str:

@@ -18,11 +18,14 @@ from .geometry import (
     regular_grid,
 )
 from .substrate import (
+    CallableSolver,
     CountingSolver,
     DenseMatrixSolver,
     Layer,
     SubstrateProfile,
     SubstrateSolver,
+    check_conductance_properties,
+    extract_columns,
     extract_dense,
 )
 from .substrate.bem import EigenfunctionSolver
@@ -42,10 +45,13 @@ __all__ = [
     "Layer",
     "SubstrateProfile",
     "SubstrateSolver",
+    "CallableSolver",
     "CountingSolver",
     "DenseMatrixSolver",
     "EigenfunctionSolver",
     "FiniteDifferenceSolver",
     "extract_dense",
+    "extract_columns",
+    "check_conductance_properties",
     "__version__",
 ]

@@ -63,12 +63,17 @@ class LowRankSparsifier:
         max_rank: int = 6,
         sv_rel_threshold: float = 1e-2,
         seed: int = 0,
+        max_block: int = 256,
     ) -> None:
         self.hierarchy = hierarchy
         self.max_rank = max_rank
         self.sv_rel_threshold = sv_rel_threshold
         self.rowbasis = MultilevelRowBasis(
-            hierarchy, max_rank=max_rank, sv_rel_threshold=sv_rel_threshold, seed=seed
+            hierarchy,
+            max_rank=max_rank,
+            sv_rel_threshold=sv_rel_threshold,
+            seed=seed,
+            max_block=max_block,
         )
         self._tu: dict[SquareKey, _SquareBasisTU] = {}
         self._lresp: dict[SquareKey, tuple[np.ndarray, np.ndarray, np.ndarray]] = {}

@@ -91,6 +91,10 @@ class MultilevelRowBasis:
         of the largest are considered "large" (the paper uses 1/100).
     seed:
         Seed of the random sample vectors.
+    max_block:
+        Largest number of right-hand sides submitted to the black box per
+        ``solve_many`` call (memory bound; does not change the attributed
+        solve count).
     """
 
     def __init__(
@@ -99,10 +103,12 @@ class MultilevelRowBasis:
         max_rank: int = 6,
         sv_rel_threshold: float = 1e-2,
         seed: int = 0,
+        max_block: int = 256,
     ) -> None:
         self.hierarchy = hierarchy
         self.max_rank = max_rank
         self.sv_rel_threshold = sv_rel_threshold
+        self.max_block = max(int(max_block), 1)
         self.rng = np.random.default_rng(seed)
         self.data: dict[SquareKey, RowBasisData] = {}
         #: finest-level local interaction blocks: key -> (local contacts, block)
@@ -170,20 +176,30 @@ class MultilevelRowBasis:
     ) -> dict[SquareKey, np.ndarray]:
         hier = self.hierarchy
         n = hier.layout.n_contacts
-        out: dict[SquareKey, np.ndarray] = {}
+        # one RHS column per (square, sample column), submitted in one block
+        rhs_cols: list[np.ndarray] = []
+        col_owner: list[tuple[SquareKey, int]] = []
+        pcs: dict[SquareKey, np.ndarray] = {}
         for sq in hier.squares_at_level(level):
             x = vectors.get(sq.key)
             if x is None:
                 continue
-            pc = self._p_contacts(sq)
-            resp = np.empty((pc.size, x.shape[1]))
+            pcs[sq.key] = self._p_contacts(sq)
             for col in range(x.shape[1]):
                 full = np.zeros(n)
                 full[sq.contact_indices] = x[:, col]
-                y = solver.solve_currents(full)
-                self.n_solves += 1
-                resp[:, col] = y[pc]
-            out[sq.key] = resp
+                rhs_cols.append(full)
+                col_owner.append((sq.key, col))
+        out: dict[SquareKey, np.ndarray] = {
+            key: np.empty((pcs[key].size, vectors[key].shape[1])) for key in pcs
+        }
+        for start in range(0, len(rhs_cols), self.max_block):
+            stop = min(start + self.max_block, len(rhs_cols))
+            responses = solver.solve_many(np.column_stack(rhs_cols[start:stop]))
+            self.n_solves += stop - start
+            for pos in range(stop - start):
+                key, col = col_owner[start + pos]
+                out[key][:, col] = responses[pcs[key], pos]
         return out
 
     def _responses_split(
@@ -228,27 +244,56 @@ class MultilevelRowBasis:
                 gkey = (parent.i % 3, parent.j % 3, sq.i % 2, sq.j % 2, col)
                 groups.setdefault(gkey, []).append(sq.key)
 
-        for gkey, members in groups.items():
+        # every group is one combined solve; submit them all in one block
+        def contribution(key: SquareKey, col: int) -> tuple[np.ndarray, np.ndarray]:
+            return parent_of[key].contact_indices, ortho[key][:, col]
+
+        for gkey, members, y in self._combined_group_responses(
+            solver, n, list(groups.items()), contribution
+        ):
             col = gkey[-1]
-            theta = np.zeros(n)
-            for key in members:
-                parent = parent_of[key]
-                theta[parent.contact_indices] += ortho[key][:, col]
-            y = solver.solve_currents(theta)
-            self.n_solves += 1
             for key in members:
                 parent = parent_of[key]
                 o = ortho[key][:, col]
                 pc = pc_of[key]
-                contribution = np.zeros(pc.size)
+                contrib = np.zeros(pc.size)
                 for q in hier.local_squares(parent):
                     qdata = self.data[q.key]
                     raw = y[q.contact_indices]
                     refined = self._refine_local_response(qdata, parent, o, raw)
                     pos_q = _positions(pc, q.contact_indices)
-                    contribution[pos_q] = refined
-                results[key][:, col] += contribution
+                    contrib[pos_q] = refined
+                results[key][:, col] += contrib
         return results
+
+    def _combined_group_responses(
+        self,
+        solver: SubstrateSolver,
+        n: int,
+        group_list: list[tuple[tuple, list[SquareKey]]],
+        contribution,
+    ):
+        """Run all combined solves of ``group_list`` as one ``solve_many`` block.
+
+        Each group ``(gkey, members)`` becomes one theta column assembled by
+        summing ``contribution(member_key, gkey[-1]) -> (contact_indices,
+        values)`` over its members; yields ``(gkey, members, response_column)``
+        per group.  One attributed black-box solve per group, exactly as the
+        sequential combine-solves technique of Section 3.5; submissions are
+        chunked to ``max_block`` columns to bound memory.
+        """
+        for start in range(0, len(group_list), self.max_block):
+            chunk = group_list[start:start + self.max_block]
+            thetas = np.zeros((n, len(chunk)))
+            for g_idx, (gkey, members) in enumerate(chunk):
+                col = gkey[-1]
+                for key in members:
+                    indices, values = contribution(key, col)
+                    thetas[indices, g_idx] += values
+            responses = solver.solve_many(thetas)
+            self.n_solves += len(chunk)
+            for g_idx, (gkey, members) in enumerate(chunk):
+                yield gkey, members, responses[:, g_idx]
 
     def _refine_local_response(
         self,
@@ -345,14 +390,14 @@ class MultilevelRowBasis:
                 groups.setdefault((sq.i % 3, sq.j % 3, col), []).append(sq.key)
 
         square_by_key = {sq.key: sq for sq in squares}
-        for gkey, members in groups.items():
+
+        def contribution(key: SquareKey, col: int) -> tuple[np.ndarray, np.ndarray]:
+            return square_by_key[key].contact_indices, self.finest_w[key][:, col]
+
+        for gkey, members, y in self._combined_group_responses(
+            solver, n, list(groups.items()), contribution
+        ):
             col = gkey[-1]
-            theta = np.zeros(n)
-            for key in members:
-                sq = square_by_key[key]
-                theta[sq.contact_indices] += self.finest_w[key][:, col]
-            y = solver.solve_currents(theta)
-            self.n_solves += 1
             for key in members:
                 sq = square_by_key[key]
                 w_col = self.finest_w[key][:, col]

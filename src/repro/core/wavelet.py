@@ -40,6 +40,10 @@ class WaveletSparsifier:
         Vanishing-moment order ``p`` (the paper uses 2).
     rank_tol:
         Relative SVD tolerance of the basis construction.
+    max_block:
+        Largest number of combined-solve right-hand sides submitted to the
+        black box per ``solve_many`` call (memory bound; does not change the
+        attributed solve count).
     """
 
     def __init__(
@@ -47,9 +51,11 @@ class WaveletSparsifier:
         hierarchy: SquareHierarchy,
         order: int = 2,
         rank_tol: float = 1e-10,
+        max_block: int = 256,
     ) -> None:
         self.hierarchy = hierarchy
         self.basis = WaveletBasis(hierarchy, order=order, rank_tol=rank_tol)
+        self.max_block = max(int(max_block), 1)
         self._targets_cache: dict[tuple[int, int, int], list[Square]] = {}
 
     # --------------------------------------------------------------- locality
@@ -149,18 +155,25 @@ class WaveletSparsifier:
             entry_cols.append(np.asarray(cc, dtype=int).ravel())
             entry_vals.append(np.asarray(vv, dtype=float).ravel())
 
-        # 1. root non-vanishing vectors: full rows and columns (few solves)
+        # 1. root non-vanishing vectors: full rows and columns (few solves).
+        # All root columns go to the black box as one stacked-RHS submission.
         root_cols = basis.root_v_columns()
-        for j in root_cols:
-            qj = np.asarray(q[:, int(j)].todense()).ravel()
-            response = solver.solve_currents(qj)
-            n_solves += 1
-            row = q.T @ response
+        if root_cols.size:
+            q_root = np.asarray(q[:, root_cols].todense())
+            responses = solver.solve_many(q_root)
+            n_solves += int(root_cols.size)
+            rows_block = q.T @ responses  # (ncols, n_root)
             all_cols = np.arange(ncols)
-            record(np.full(ncols, j), all_cols, row)
-            record(all_cols, np.full(ncols, j), row)
+            for pos, j in enumerate(root_cols):
+                row = np.asarray(rows_block[:, pos]).ravel()
+                record(np.full(ncols, j), all_cols, row)
+                record(all_cols, np.full(ncols, j), row)
 
-        # 2. combine-solves for the vanishing-moment vectors, level by level
+        # 2. combine-solves for the vanishing-moment vectors, level by level.
+        # The combined vectors theta of one level are mutually independent, so
+        # the whole level is submitted as a single solve_many block; each
+        # column is still attributed as one black-box solve (the grouping —
+        # which squares share a theta — is unchanged by batching).
         for level in hier.levels():
             squares = [
                 sq
@@ -169,6 +182,9 @@ class WaveletSparsifier:
             ]
             if not squares:
                 continue
+            thetas: list[np.ndarray] = []
+            theta_sources: list[list[Square]] = []
+            theta_modes: list[int] = []
             for a in range(3):
                 for b in range(3):
                     group = [sq for sq in squares if sq.i % 3 == a and sq.j % 3 == b]
@@ -185,18 +201,31 @@ class WaveletSparsifier:
                         for sq in contributing:
                             sb = basis.basis(sq.key)
                             theta[sb.contact_indices] += sb.W[:, m]
-                        response = solver.solve_currents(theta)
-                        n_solves += 1
-                        for sq in contributing:
-                            source_col = int(basis.w_columns(sq.key)[m])
-                            for target in self._target_squares(sq):
-                                tb = basis.basis(target.key)
-                                if tb.n_vanishing == 0:
-                                    continue
-                                vals = tb.W.T @ response[tb.contact_indices]
-                                tcols = basis.w_columns(target.key)
-                                record(tcols, np.full(tcols.size, source_col), vals)
-                                record(np.full(tcols.size, source_col), tcols, vals)
+                        thetas.append(theta)
+                        theta_sources.append(contributing)
+                        theta_modes.append(m)
+            if not thetas:
+                continue
+            # bounded chunks keep the (n, k) submission from growing with the
+            # square count on coarse levels of very large layouts
+            for start in range(0, len(thetas), self.max_block):
+                stop = min(start + self.max_block, len(thetas))
+                responses = solver.solve_many(np.column_stack(thetas[start:stop]))
+                n_solves += stop - start
+                for col in range(stop - start):
+                    response = responses[:, col]
+                    contributing = theta_sources[start + col]
+                    m = theta_modes[start + col]
+                    for sq in contributing:
+                        source_col = int(basis.w_columns(sq.key)[m])
+                        for target in self._target_squares(sq):
+                            tb = basis.basis(target.key)
+                            if tb.n_vanishing == 0:
+                                continue
+                            vals = tb.W.T @ response[tb.contact_indices]
+                            tcols = basis.w_columns(target.key)
+                            record(tcols, np.full(tcols.size, source_col), vals)
+                            record(np.full(tcols.size, source_col), tcols, vals)
 
         gws = self._assemble(entry_rows, entry_cols, entry_vals, ncols)
         return SparsifiedConductance(q, gws, n_solves=n_solves, method="wavelet")

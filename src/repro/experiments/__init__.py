@@ -3,6 +3,7 @@
 from .examples import ExampleConfig, chapter4_examples, get_example, paper_examples
 from .runner import (
     SparsificationResult,
+    run_batched_extraction_experiment,
     run_lowrank_experiment,
     run_method_comparison,
     run_preconditioner_table,
@@ -22,5 +23,6 @@ __all__ = [
     "run_method_comparison",
     "run_preconditioner_table",
     "run_solver_speed_table",
+    "run_batched_extraction_experiment",
     "singular_value_decay_experiment",
 ]

@@ -34,6 +34,7 @@ __all__ = [
     "run_method_comparison",
     "run_preconditioner_table",
     "run_solver_speed_table",
+    "run_batched_extraction_experiment",
     "singular_value_decay_experiment",
 ]
 
@@ -271,6 +272,77 @@ def run_solver_speed_table(
             }
         )
     return rows
+
+
+def run_batched_extraction_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    repeats: int = 3,
+) -> dict[str, float | int]:
+    """Sequential versus batched dense extraction on a regular contact grid.
+
+    Times the naive one-``solve_currents``-per-contact extraction against the
+    same extraction submitted as a single ``solve_many`` block, and records
+    the agreement between the two ``G`` matrices.  Each measurement is
+    repeated ``repeats`` times on a freshly constructed solver, so no
+    solver-level cache (Cholesky factor, work buffers) survives between
+    repetitions, and the minimum is reported, which suppresses scheduler
+    noise.  Solver construction itself — including the module-level
+    eigenvalue-table memoisation — stays outside the timed region for both
+    paths.  This is the experiment behind ``BENCH_batched.json``.
+    """
+    from ..geometry.layouts import regular_grid
+    from ..substrate.bem.solver import EigenfunctionSolver
+    from ..substrate.profile import SubstrateProfile
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profile = SubstrateProfile.two_layer_example(size=size, resistive_bottom=True)
+    n = layout.n_contacts
+
+    def build() -> EigenfunctionSolver:
+        return EigenfunctionSolver(layout, profile, max_panels=max_panels, rtol=rtol)
+
+    t_seq = np.inf
+    for _ in range(max(1, repeats)):
+        solver_seq = build()
+        start = time.perf_counter()
+        g_seq = np.empty((n, n))
+        for i in range(n):
+            e = np.zeros(n)
+            e[i] = 1.0
+            g_seq[:, i] = solver_seq.solve_currents(e)
+        t_seq = min(t_seq, time.perf_counter() - start)
+
+    t_batch = np.inf
+    for _ in range(max(1, repeats)):
+        solver_batch = build()
+        start = time.perf_counter()
+        g_batch = extract_dense(solver_batch)
+        t_batch = min(t_batch, time.perf_counter() - start)
+
+    scale = float(np.abs(g_seq).max())
+    used_direct = solver_batch.stats.n_direct_solves > 0
+    return {
+        "n_side": int(n_side),
+        "n_contacts": int(n),
+        "panel_grid": int(solver_batch.grid.nx),
+        "repeats": int(max(1, repeats)),
+        "sequential_s": float(t_seq),
+        "batched_s": float(t_batch),
+        "speedup": float(t_seq / t_batch) if t_batch > 0 else float("inf"),
+        "max_abs_diff_rel": float(np.abs(g_seq - g_batch).max() / scale),
+        "mean_iterations_sequential": float(solver_seq.mean_iterations_per_solve()),
+        # the factor-once/solve-all path runs no Krylov iterations at all;
+        # report which engine served the block so 0.0 is not misread as
+        # "CG converged instantly"
+        "batched_used_direct_path": bool(used_direct),
+        "mean_iterations_batched": (
+            None if used_direct else float(solver_batch.mean_iterations_per_solve())
+        ),
+    }
 
 
 def singular_value_decay_experiment(

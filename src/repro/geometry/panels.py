@@ -118,22 +118,27 @@ class PanelGrid:
         """Copy one value per contact onto all of its panels.
 
         Returns a full panel-grid array (flat, length ``n_panels``) with zeros
-        on non-contact panels.  Used to impose contact voltages.
+        on non-contact panels.  Used to impose contact voltages.  Accepts a
+        vector of one value per contact or an ``(n_contacts, k)`` block, in
+        which case the result is ``(n_panels, k)``.
         """
         contact_values = np.asarray(contact_values, dtype=float)
         if contact_values.shape[0] != self.layout.n_contacts:
             raise ValueError("expected one value per contact")
-        out = np.zeros(self.n_panels)
+        out = np.zeros((self.n_panels,) + contact_values.shape[1:])
         for idx, panels in enumerate(self.contact_panels):
             out[panels] = contact_values[idx]
         return out
 
     def sum_panel_values(self, panel_values: np.ndarray) -> np.ndarray:
-        """Sum panel values over each contact (e.g. panel currents -> contact currents)."""
+        """Sum panel values over each contact (e.g. panel currents -> contact currents).
+
+        Accepts ``(n_panels,)`` vectors or ``(n_panels, k)`` blocks.
+        """
         panel_values = np.asarray(panel_values, dtype=float)
-        out = np.empty(self.layout.n_contacts)
+        out = np.empty((self.layout.n_contacts,) + panel_values.shape[1:])
         for idx, panels in enumerate(self.contact_panels):
-            out[idx] = panel_values[panels].sum()
+            out[idx] = panel_values[panels].sum(axis=0)
         return out
 
     def contact_incidence(self) -> np.ndarray:

@@ -32,6 +32,8 @@ tests for moderate ``gamma * d`` where it does not overflow.
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from ..profile import SubstrateProfile
@@ -39,6 +41,7 @@ from ..profile import SubstrateProfile
 __all__ = [
     "mode_eigenvalue",
     "eigenvalue_table",
+    "eigenvalue_table_cache_clear",
     "eigenvalue_coefficient_recursion",
 ]
 
@@ -87,6 +90,19 @@ def mode_eigenvalue(gamma: float, profile: SubstrateProfile) -> float:
     return float(1.0 / y)
 
 
+#: module-level LRU cache of eigenvalue tables, keyed on the physical profile
+#: and the mode counts.  Experiments rebuild solvers for the same substrate
+#: over and over (every table row, every benchmark repetition); the table is
+#: pure function of ``(profile, n_modes)`` so recomputation is pure waste.
+_TABLE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+_TABLE_CACHE_MAX = 32
+
+
+def eigenvalue_table_cache_clear() -> None:
+    """Drop all memoised eigenvalue tables (tests / memory pressure)."""
+    _TABLE_CACHE.clear()
+
+
 def eigenvalue_table(
     n_modes_x: int, n_modes_y: int, profile: SubstrateProfile
 ) -> np.ndarray:
@@ -94,7 +110,16 @@ def eigenvalue_table(
 
     For a floating backplane the (0, 0) entry is set to 0 (the uniform mode is
     excluded from the operator; see :mod:`repro.substrate.bem.operator`).
+
+    Results are memoised per ``(n_modes_x, n_modes_y, profile.cache_key)`` in
+    a small module-level LRU; the returned array is marked read-only because
+    it is shared between callers.
     """
+    key = (int(n_modes_x), int(n_modes_y), profile.cache_key)
+    cached = _TABLE_CACHE.get(key)
+    if cached is not None:
+        _TABLE_CACHE.move_to_end(key)
+        return cached
     a, b = profile.size_x, profile.size_y
     m = np.arange(n_modes_x)
     n = np.arange(n_modes_y)
@@ -104,6 +129,10 @@ def eigenvalue_table(
         for j in range(n_modes_y):
             lam = mode_eigenvalue(float(gamma[i, j]), profile)
             table[i, j] = 0.0 if np.isinf(lam) else lam
+    table.setflags(write=False)
+    _TABLE_CACHE[key] = table
+    while len(_TABLE_CACHE) > _TABLE_CACHE_MAX:
+        _TABLE_CACHE.popitem(last=False)
     return table
 
 

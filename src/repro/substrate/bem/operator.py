@@ -65,9 +65,14 @@ class SurfaceOperator:
         area = profile.size_x * profile.size_y
         #: modal weights w_mn = lambda_mn * eps_m * eps_n / (a*b)
         self.weights = lam * (eps_m[:, None] * eps_n[None, :]) / area
+        #: the same operator through orthonormal DCTs: A = C_o' diag(w_o) C_o
+        #: with C_o the orthonormal DCT-II, for which the eps factors cancel
+        #: into w_o = lambda_mn * nx * ny / (a*b).
+        self.weights_ortho = lam * (nx * ny) / area
 
         self._cos_x: np.ndarray | None = None
         self._cos_y: np.ndarray | None = None
+        self._block_buffer: np.ndarray | None = None
         if not use_fft:
             self._build_cosine_matrices()
 
@@ -83,48 +88,98 @@ class SurfaceOperator:
 
     # ------------------------------------------------------------------ apply
     def apply_grid(self, panel_currents: np.ndarray) -> np.ndarray:
-        """Apply the operator to an ``(nx, ny)`` array of panel currents."""
+        """Apply the operator to panel currents on the grid.
+
+        Accepts a single ``(nx, ny)`` array or a stacked ``(nx, ny, k)`` block
+        of ``k`` independent current distributions; the block form runs the
+        2-D DCTs over all columns in one library call, which is the fast path
+        of the multi-RHS solves.
+        """
         q = np.asarray(panel_currents, dtype=float)
-        if q.shape != (self.grid.nx, self.grid.ny):
+        if q.ndim not in (2, 3) or q.shape[:2] != (self.grid.nx, self.grid.ny):
             raise ValueError("panel current array has the wrong shape")
         if self.use_fft:
             return self._apply_fft(q)
         return self._apply_matrix(q)
 
+    def _batch_weights(self, ndim: int) -> np.ndarray:
+        return self.weights if ndim == 2 else self.weights[:, :, None]
+
     def _apply_matrix(self, q: np.ndarray) -> np.ndarray:
         if self._cos_x is None or self._cos_y is None:
             self._build_cosine_matrices()
-        modal = self._cos_x @ q @ self._cos_y.T
-        modal *= self.weights
-        return self._cos_x.T @ modal @ self._cos_y
+        if q.ndim == 2:
+            modal = self._cos_x @ q @ self._cos_y.T
+            modal *= self.weights
+            return self._cos_x.T @ modal @ self._cos_y
+        # batched: pairwise BLAS contractions (a naive triple einsum would be
+        # O(nx^2 ny^2) per column)
+        modal = np.einsum(
+            "mi,ijk,nj->mnk", self._cos_x, q, self._cos_y, optimize=True
+        )
+        modal *= self.weights[:, :, None]
+        return np.einsum(
+            "mi,mnk,nj->ijk", self._cos_x, modal, self._cos_y, optimize=True
+        )
 
     def _apply_fft(self, q: np.ndarray) -> np.ndarray:
-        # forward: C q  (DCT-II without normalisation is 2*C per axis)
-        modal = sp_fft.dctn(q, type=2, norm=None) * 0.25
-        modal *= self.weights
+        # forward: C q  (DCT-II without normalisation is 2*C per axis);
+        # axes (0, 1) leave an optional trailing batch axis untouched.
+        modal = sp_fft.dctn(q, type=2, norm=None, axes=(0, 1)) * 0.25
+        modal *= self._batch_weights(q.ndim)
         # backward: C' y per axis; C'[i,m] y[m] = 0.5*(dct3(y)[i] + y[0])
-        tmp = 0.5 * (sp_fft.dct(modal, type=3, axis=0, norm=None) + modal[0:1, :])
+        tmp = 0.5 * (sp_fft.dct(modal, type=3, axis=0, norm=None) + modal[0:1])
         out = 0.5 * (sp_fft.dct(tmp, type=3, axis=1, norm=None) + tmp[:, 0:1])
         return out
 
     def apply_flat(self, panel_currents_flat: np.ndarray) -> np.ndarray:
-        """Apply to a flat vector of panel currents (flat index ``i*ny + j``)."""
-        q = np.asarray(panel_currents_flat, dtype=float).reshape(
-            self.grid.nx, self.grid.ny
-        )
-        return self.apply_grid(q).ravel()
+        """Apply to flat panel currents (flat index ``i*ny + j``).
+
+        Accepts ``(n_panels,)`` vectors or ``(n_panels, k)`` blocks.
+        """
+        q = np.asarray(panel_currents_flat, dtype=float)
+        shaped = q.reshape((self.grid.nx, self.grid.ny) + q.shape[1:])
+        return self.apply_grid(shaped).reshape(q.shape)
 
     def apply_contact_panels(self, q_contact: np.ndarray) -> np.ndarray:
         """Apply the operator restricted to contact panels.
 
         Non-contact panels carry zero current (the "zero-padding" step of
         Figure 2-6); the result is the potential at the contact panels only
-        (the "lifting" step restricted to contacts).
+        (the "lifting" step restricted to contacts).  Accepts single vectors
+        or ``(n_contact_panels, k)`` blocks.
         """
-        full = np.zeros(self.grid.n_panels)
+        q_contact = np.asarray(q_contact, dtype=float)
+        full = np.zeros((self.grid.n_panels,) + q_contact.shape[1:])
         full[self.grid.all_contact_panels] = q_contact
         pot = self.apply_flat(full)
         return pot[self.grid.all_contact_panels]
+
+    def apply_contact_panels_block(self, q_block: np.ndarray) -> np.ndarray:
+        """Apply the contact-panel block to a batch-major ``(k, ncp)`` block.
+
+        This is the hot path of the multi-RHS solves.  The batch-major layout
+        keeps each column's ``(nx, ny)`` grid contiguous for the stacked DCTs,
+        the full-grid scatter buffer is reused across calls (non-contact
+        panels stay zero between calls because only contact positions are
+        ever written), and the orthonormal-DCT factorisation
+        ``A = C_o' diag(w_o) C_o`` needs no correction terms.
+        """
+        q_block = np.asarray(q_block, dtype=float)
+        if not self.use_fft:
+            return self.apply_contact_panels(q_block.T).T
+        k = q_block.shape[0]
+        buf = self._block_buffer
+        if buf is None or buf.shape[0] < k:
+            buf = self._block_buffer = np.zeros((k, self.grid.n_panels))
+        work = buf[:k]
+        cp = self.grid.all_contact_panels
+        work[:, cp] = q_block
+        grid = work.reshape(k, self.grid.nx, self.grid.ny)
+        modal = sp_fft.dctn(grid, type=2, norm="ortho", axes=(1, 2))
+        modal *= self.weights_ortho
+        pot = sp_fft.idctn(modal, type=2, norm="ortho", axes=(1, 2))
+        return pot.reshape(k, -1)[:, cp]
 
     # ------------------------------------------------------------- diagnostics
     def contact_block_diagonal(self) -> np.ndarray:
@@ -150,4 +205,35 @@ class SurfaceOperator:
             e[k] = 1.0
             out[:, k] = self.apply_contact_panels(e)
             e[k] = 0.0
+        return out
+
+    def contact_block_matrix(self, max_batch: int = 256) -> np.ndarray:
+        """Dense ``A_cc`` assembled from closed-form modal rows (fast path).
+
+        The forward transform of a unit panel vector is an outer product of
+        cosine columns, ``C_o e_p = d_x cos_x[:, i_p] (x) d_y cos_y[:, j_p]``,
+        so each row of ``A_cc`` costs only the *backward* transform of its
+        weighted modal image — half the work of :meth:`apply_contact_panels`
+        and no scatter.  Feeds the factor-once multi-RHS direct solve.
+        """
+        if self._cos_x is None or self._cos_y is None:
+            self._build_cosine_matrices()
+        grid = self.grid
+        nx, ny = grid.nx, grid.ny
+        cp = grid.all_contact_panels
+        ncp = grid.n_contact_panels
+        dx = np.where(np.arange(nx) == 0, np.sqrt(1.0 / nx), np.sqrt(2.0 / nx))
+        dy = np.where(np.arange(ny) == 0, np.sqrt(1.0 / ny), np.sqrt(2.0 / ny))
+        cox = dx[:, None] * self._cos_x  # orthonormal DCT-II basis columns
+        coy = dy[:, None] * self._cos_y
+        out = np.empty((ncp, ncp))
+        for start in range(0, ncp, max_batch):
+            panels = cp[start:start + max_batch]
+            modal = (
+                self.weights_ortho
+                * cox[:, panels // ny].T[:, :, None]
+                * coy[:, panels % ny].T[:, None, :]
+            )
+            rows = sp_fft.idctn(modal, type=2, norm="ortho", axes=(1, 2))
+            out[start:start + panels.size] = rows.reshape(panels.size, -1)[:, cp]
         return out

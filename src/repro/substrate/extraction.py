@@ -23,8 +23,27 @@ __all__ = [
 ]
 
 
-def extract_dense(solver: SubstrateSolver, symmetrize: bool = False) -> np.ndarray:
+def _unit_vector_block(n: int, columns: np.ndarray) -> np.ndarray:
+    """Freshly allocated ``(n, len(columns))`` block of unit RHS vectors.
+
+    Each call builds the block from scratch — no shared scratch vector is
+    mutated between solves — so extraction is independent of call order and
+    safe against solvers that retain references to their input.
+    """
+    block = np.zeros((n, columns.size))
+    block[columns, np.arange(columns.size)] = 1.0
+    return block
+
+
+def extract_dense(
+    solver: SubstrateSolver, symmetrize: bool = False, block_size: int | None = None
+) -> np.ndarray:
     """Extract the full dense ``G`` with one solve per contact.
+
+    The ``n`` unit-vector right-hand sides are submitted through
+    :meth:`~repro.substrate.solver_base.SubstrateSolver.solve_many`, so
+    backends with a batched path amortise their operator applies across the
+    whole extraction (still ``n`` attributed black-box solves).
 
     Parameters
     ----------
@@ -33,33 +52,44 @@ def extract_dense(solver: SubstrateSolver, symmetrize: bool = False) -> np.ndarr
     symmetrize:
         If True, return ``(G + G') / 2``.  The exact operator is symmetric
         (Section 2.4) but iterative solvers introduce small asymmetries.
+    block_size:
+        Columns per :meth:`solve_many` submission (default: all at once;
+        backends apply their own internal chunking for memory).
     """
     n = solver.n_contacts
-    g = np.empty((n, n))
-    e = np.zeros(n)
-    for i in range(n):
-        e[i] = 1.0
-        g[:, i] = solver.solve_currents(e)
-        e[i] = 0.0
-    if symmetrize:
-        g = 0.5 * (g + g.T)
-    return g
+    return extract_columns(solver, np.arange(n), block_size=block_size, symmetrize=symmetrize)
 
 
-def extract_columns(solver: SubstrateSolver, columns: np.ndarray) -> np.ndarray:
+def extract_columns(
+    solver: SubstrateSolver,
+    columns: np.ndarray,
+    block_size: int | None = None,
+    symmetrize: bool = False,
+) -> np.ndarray:
     """Extract selected columns of ``G`` (one solve per requested column).
 
     Used for the larger examples of Table 4.3 where forming the whole ``G``
-    is too expensive; errors are then measured on a column sample.
+    is too expensive; errors are then measured on a column sample.  Columns
+    are batched through ``solve_many``; ``symmetrize`` is only meaningful
+    when all ``n`` columns are requested.
     """
     columns = np.asarray(columns, dtype=int)
     n = solver.n_contacts
+    if block_size is None:
+        block_size = columns.size
+    block_size = max(int(block_size), 1)
     out = np.empty((n, columns.size))
-    e = np.zeros(n)
-    for k, i in enumerate(columns):
-        e[i] = 1.0
-        out[:, k] = solver.solve_currents(e)
-        e[i] = 0.0
+    for start in range(0, columns.size, block_size):
+        stop = min(start + block_size, columns.size)
+        rhs = _unit_vector_block(n, columns[start:stop])
+        out[:, start:stop] = solver.solve_many(rhs)
+    if symmetrize:
+        if columns.size != n or not np.array_equal(np.sort(columns), np.arange(n)):
+            raise ValueError("symmetrize requires extracting every column exactly once")
+        order = np.argsort(columns)
+        full = out[:, order]
+        full = 0.5 * (full + full.T)
+        out = full[:, np.argsort(order)]
     return out
 
 

@@ -111,9 +111,14 @@ class FDAssembly:
 
     # ------------------------------------------------------------------- rhs
     def rhs_for_contact_voltages(self, voltages: np.ndarray) -> np.ndarray:
-        """Right-hand side vector for prescribed contact voltages."""
+        """Right-hand side for prescribed contact voltages.
+
+        Accepts one voltage vector (length ``n_contacts``) or an
+        ``(n_contacts, k)`` block, returning the matching ``(n_nodes,)`` or
+        ``(n_nodes, k)`` right-hand sides.
+        """
         voltages = np.asarray(voltages, dtype=float)
-        b = np.zeros(self.grid.n_nodes)
+        b = np.zeros((self.grid.n_nodes,) + voltages.shape[1:])
         for idx, nodes in enumerate(self.grid.contact_top_nodes):
             b[nodes] += self._g_top * voltages[idx]
         return b
@@ -125,9 +130,10 @@ class FDAssembly:
 
         The current into contact ``c`` is the sum over its Dirichlet resistors
         of ``g_top * (V_c - phi_node)`` (Ohm's law at the contact branch).
+        ``voltages``/``potentials`` may also be ``(n, k)`` blocks of solves.
         """
         voltages = np.asarray(voltages, dtype=float)
-        out = np.empty(self.grid.layout.n_contacts)
+        out = np.empty((self.grid.layout.n_contacts,) + voltages.shape[1:])
         for idx, nodes in enumerate(self.grid.contact_top_nodes):
-            out[idx] = np.sum(self._g_top * (voltages[idx] - potentials[nodes]))
+            out[idx] = np.sum(self._g_top * (voltages[idx] - potentials[nodes]), axis=0)
         return out

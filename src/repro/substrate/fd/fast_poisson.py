@@ -100,26 +100,35 @@ class FastPoissonPreconditioner:
 
     # ------------------------------------------------------------------ apply
     def solve(self, residual: np.ndarray) -> np.ndarray:
-        """Apply ``M^{-1}`` to a nodal residual vector."""
+        """Apply ``M^{-1}`` to a nodal residual vector (or ``(n, k)`` block).
+
+        Blocks are solved in one pass: the lateral DCTs act on all columns at
+        once and the Thomas recurrences broadcast over the trailing axis.
+        """
         g = self.grid
         nx, ny, nz = g.nx, g.ny, g.nz
-        r = np.asarray(residual, dtype=float).reshape(nz, nx, ny)
+        residual = np.asarray(residual, dtype=float)
+        batch = residual.shape[1:]  # () for a vector, (k,) for a block
+        r = residual.reshape((nz, nx, ny) + batch)
+        trail = (slice(None),) * 2 + (None,) * len(batch)
 
         # forward 2-D DCT (orthonormal) over the lateral directions
         rhat = sp_fft.dctn(r, type=2, norm="ortho", axes=(1, 2))
 
-        # Thomas algorithm per mode (vectorised over modes)
+        # Thomas algorithm per mode (vectorised over modes and RHS columns)
+        denom = self._denom[(slice(None),) + trail] if batch else self._denom
+        c_prime = self._c_prime[(slice(None),) + trail] if batch else self._c_prime
         d = np.empty_like(rhat)
-        d[0] = rhat[0] / self._denom[0]
+        d[0] = rhat[0] / denom[0]
         for k in range(1, nz):
-            d[k] = (rhat[k] + self._off[k - 1] * d[k - 1]) / self._denom[k]
+            d[k] = (rhat[k] + self._off[k - 1] * d[k - 1]) / denom[k]
         x = np.empty_like(d)
         x[-1] = d[-1]
         for k in range(nz - 2, -1, -1):
-            x[k] = d[k] - self._c_prime[k] * x[k + 1]
+            x[k] = d[k] - c_prime[k] * x[k + 1]
 
         out = sp_fft.idctn(x, type=2, norm="ortho", axes=(1, 2))
-        return out.reshape(-1)
+        return out.reshape(residual.shape)
 
     def as_dense(self) -> np.ndarray:  # pragma: no cover - test helper for tiny grids
         """Explicit dense ``M^{-1}`` (tiny grids only, used in tests)."""

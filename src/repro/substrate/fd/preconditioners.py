@@ -40,6 +40,8 @@ def _jacobi(matrix: sparse.csr_matrix) -> Callable[[np.ndarray], np.ndarray]:
     inv = 1.0 / diag
 
     def apply(r: np.ndarray) -> np.ndarray:
+        if r.ndim == 2:
+            return inv[:, None] * r
         return inv * r
 
     return apply
@@ -136,4 +138,7 @@ def make_preconditioner(
         raise ValueError(
             f"unknown preconditioner {name!r}; expected one of {PRECONDITIONER_NAMES}"
         )
-    return LinearOperator((n, n), matvec=apply, dtype=float)
+    # every apply above handles (n,) vectors and (n, k) blocks alike, so the
+    # same callable serves as matmat — multi-RHS PCG then preconditions the
+    # whole block in one pass instead of scipy's per-column fallback loop.
+    return LinearOperator((n, n), matvec=apply, matmat=apply, dtype=float)

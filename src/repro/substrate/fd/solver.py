@@ -57,6 +57,9 @@ class FiniteDifferenceSolver(SubstrateSolver):
         preconditioner.
     rtol:
         Relative residual tolerance of the PCG iteration.
+    max_batch:
+        Largest number of right-hand-side columns iterated at once by
+        :meth:`solve_many` (bounds the ``(n_nodes, k)`` work arrays).
     """
 
     def __init__(
@@ -68,6 +71,7 @@ class FiniteDifferenceSolver(SubstrateSolver):
         planes_per_layer: int | tuple[int, ...] = 3,
         preconditioner: str = "fast_poisson_area",
         rtol: float = 1e-8,
+        max_batch: int = 128,
     ) -> None:
         self.layout = layout
         self.profile = profile
@@ -76,6 +80,9 @@ class FiniteDifferenceSolver(SubstrateSolver):
         self.preconditioner_name = preconditioner
         self._m_inv = make_preconditioner(preconditioner, self.assembly)
         self.rtol = rtol
+        self.max_batch = int(max_batch)
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
         self.stats = _SolveStats()
 
     # ----------------------------------------------------------------- solves
@@ -108,6 +115,69 @@ class FiniteDifferenceSolver(SubstrateSolver):
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
         potentials = self.solve_potentials(voltages)
         return self.assembly.contact_currents(np.asarray(voltages, dtype=float), potentials)
+
+    # ---------------------------------------------------------- batched solves
+    def solve_many(self, voltages: np.ndarray) -> np.ndarray:
+        """Batched black-box solve: multi-RHS PCG over stacked voltage vectors.
+
+        One sparse matrix-block product and one block preconditioner apply
+        per iteration serve every column; per-column step lengths keep each
+        column on the trajectory of its sequential :meth:`solve_currents`.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 2 or v.shape[0] != self.layout.n_contacts:
+            raise ValueError("expected an (n_contacts, k) voltage block")
+        out = np.empty_like(v)
+        for start in range(0, v.shape[1], self.max_batch):
+            chunk = slice(start, min(start + self.max_batch, v.shape[1]))
+            potentials = self.solve_potentials_many(v[:, chunk])
+            out[:, chunk] = self.assembly.contact_currents(v[:, chunk], potentials)
+        return out
+
+    def solve_potentials_many(self, voltages: np.ndarray) -> np.ndarray:
+        """Nodal potentials for an ``(n_contacts, k)`` block of voltages."""
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 2 or v.shape[0] != self.layout.n_contacts:
+            raise ValueError("expected an (n_contacts, k) voltage block")
+        b = self.assembly.rhs_for_contact_voltages(v)
+        if b.shape[1] == 0:
+            return b
+        a = self.assembly.matrix
+        precondition = (
+            self._m_inv.matmat if self._m_inv is not None else (lambda r: r)
+        )
+        n_rhs = b.shape[1]
+        x = np.zeros_like(b)
+        r = b.copy()
+        tol = self.rtol * np.linalg.norm(b, axis=0)
+        iters = np.zeros(n_rhs, dtype=int)
+        active = np.linalg.norm(r, axis=0) > tol
+        z = precondition(r)
+        p = z.copy()
+        rz = np.einsum("ij,ij->j", r, z)
+        for _ in range(5000):
+            if not active.any():
+                break
+            ap = a @ p
+            pap = np.einsum("ij,ij->j", p, ap)
+            safe_pap = np.where(pap > 0, pap, 1.0)
+            alpha = np.where(active & (pap > 0), rz / safe_pap, 0.0)
+            x += alpha * p
+            r -= alpha * ap
+            iters[active] += 1
+            active &= np.linalg.norm(r, axis=0) > tol
+            z = precondition(r)
+            rz_new = np.einsum("ij,ij->j", r, z)
+            beta = np.where(rz > 0, rz_new / np.where(rz > 0, rz, 1.0), 0.0)
+            p = z + beta * p
+            rz = rz_new
+        if active.any():
+            raise RuntimeError(
+                f"batched PCG did not converge for {int(active.sum())} column(s)"
+            )
+        for it in iters:
+            self.stats.record(int(it))
+        return x
 
     # ------------------------------------------------------------ convenience
     def conductance_matrix(self) -> np.ndarray:

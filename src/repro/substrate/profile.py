@@ -73,6 +73,20 @@ class SubstrateProfile:
 
     # ------------------------------------------------------------- properties
     @property
+    def cache_key(self) -> tuple:
+        """Hashable identity of the physical profile.
+
+        Two profiles with equal keys produce identical operator eigenvalues;
+        used to memoise :func:`repro.substrate.bem.eigenvalues.eigenvalue_table`.
+        """
+        return (
+            self.size_x,
+            self.size_y,
+            self.grounded_backplane,
+            tuple((layer.thickness, layer.conductivity) for layer in self.layers),
+        )
+
+    @property
     def n_layers(self) -> int:
         return len(self.layers)
 

@@ -48,6 +48,35 @@ class SubstrateSolver(abc.ABC):
         Length-``n`` vector of contact currents (current *into* each contact).
         """
 
+    def solve_many(self, voltages: np.ndarray) -> np.ndarray:
+        """Return contact currents for a block of voltage vectors.
+
+        Parameters
+        ----------
+        voltages:
+            ``(n, k)`` array whose columns are independent contact-voltage
+            vectors.
+
+        Returns
+        -------
+        ``(n, k)`` array whose column ``j`` equals
+        ``solve_currents(voltages[:, j])``.
+
+        The base implementation loops over columns; backends with a genuinely
+        vectorised path (stacked-RHS Krylov iterations, ``G @ V`` products)
+        override it.  Each column counts as one black-box solve for
+        accounting purposes (:class:`CountingSolver`), batched or not.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 2 or v.shape[0] != self.n_contacts:
+            raise ValueError("expected an (n_contacts, k) voltage block")
+        out = np.empty_like(v)
+        for j in range(v.shape[1]):
+            # a fresh copy per column so implementations can never alias or
+            # mutate the caller's block
+            out[:, j] = self.solve_currents(v[:, j].copy())
+        return out
+
     def apply(self, voltages: np.ndarray) -> np.ndarray:
         """Alias of :meth:`solve_currents` (operator-style name)."""
         return self.solve_currents(voltages)
@@ -68,6 +97,19 @@ class CountingSolver(SubstrateSolver):
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
         self.solve_count += 1
         return self.inner.solve_currents(voltages)
+
+    def solve_many(self, voltages: np.ndarray) -> np.ndarray:
+        """Forward the block to the inner solver, counting one solve per column.
+
+        Batching groups right-hand sides into a single submission; it must not
+        change how many black-box solves the extraction is charged for, so the
+        paper's solve-reduction metric is invariant under batching.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 2 or v.shape[0] != self.n_contacts:
+            raise ValueError("expected an (n_contacts, k) voltage block")
+        self.solve_count += v.shape[1]
+        return self.inner.solve_many(v)
 
     def reset(self) -> None:
         """Reset the call counter."""
@@ -99,6 +141,12 @@ class DenseMatrixSolver(SubstrateSolver):
 
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
         return self.matrix @ np.asarray(voltages, dtype=float)
+
+    def solve_many(self, voltages: np.ndarray) -> np.ndarray:
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 2 or v.shape[0] != self.n_contacts:
+            raise ValueError("expected an (n_contacts, k) voltage block")
+        return self.matrix @ v
 
 
 class CallableSolver(SubstrateSolver):
