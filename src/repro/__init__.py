@@ -21,12 +21,17 @@ from .substrate import (
     CallableSolver,
     CountingSolver,
     DenseMatrixSolver,
+    DispatchDecision,
+    DispatchPolicy,
     Layer,
+    SolveCostModel,
+    SolveStats,
     SubstrateProfile,
     SubstrateSolver,
     check_conductance_properties,
     extract_columns,
     extract_dense,
+    resolve_fft_workers,
 )
 from .substrate.bem import EigenfunctionSolver
 from .substrate.fd import FiniteDifferenceSolver
@@ -48,6 +53,11 @@ __all__ = [
     "CallableSolver",
     "CountingSolver",
     "DenseMatrixSolver",
+    "DispatchDecision",
+    "DispatchPolicy",
+    "SolveCostModel",
+    "SolveStats",
+    "resolve_fft_workers",
     "EigenfunctionSolver",
     "FiniteDifferenceSolver",
     "extract_dense",

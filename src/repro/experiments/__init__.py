@@ -4,6 +4,7 @@ from .examples import ExampleConfig, chapter4_examples, get_example, paper_examp
 from .runner import (
     SparsificationResult,
     run_batched_extraction_experiment,
+    run_dispatch_experiment,
     run_lowrank_experiment,
     run_method_comparison,
     run_preconditioner_table,
@@ -24,5 +25,6 @@ __all__ = [
     "run_preconditioner_table",
     "run_solver_speed_table",
     "run_batched_extraction_experiment",
+    "run_dispatch_experiment",
     "singular_value_decay_experiment",
 ]

@@ -35,6 +35,7 @@ __all__ = [
     "run_preconditioner_table",
     "run_solver_speed_table",
     "run_batched_extraction_experiment",
+    "run_dispatch_experiment",
     "singular_value_decay_experiment",
 ]
 
@@ -281,6 +282,8 @@ def run_batched_extraction_experiment(
     rtol: float = 1e-8,
     max_panels: int = 256,
     repeats: int = 3,
+    force_path: str | None = None,
+    fft_workers: int | None = None,
 ) -> dict[str, float | int]:
     """Sequential versus batched dense extraction on a regular contact grid.
 
@@ -296,6 +299,7 @@ def run_batched_extraction_experiment(
     """
     from ..geometry.layouts import regular_grid
     from ..substrate.bem.solver import EigenfunctionSolver
+    from ..substrate.dispatch import DispatchPolicy
     from ..substrate.profile import SubstrateProfile
 
     layout = regular_grid(n_side=n_side, size=size, fill=fill)
@@ -303,7 +307,14 @@ def run_batched_extraction_experiment(
     n = layout.n_contacts
 
     def build() -> EigenfunctionSolver:
-        return EigenfunctionSolver(layout, profile, max_panels=max_panels, rtol=rtol)
+        return EigenfunctionSolver(
+            layout,
+            profile,
+            max_panels=max_panels,
+            rtol=rtol,
+            dispatch=DispatchPolicy(force_path=force_path),
+            fft_workers=fft_workers,
+        )
 
     t_seq = np.inf
     for _ in range(max(1, repeats)):
@@ -343,6 +354,95 @@ def run_batched_extraction_experiment(
             None if used_direct else float(solver_batch.mean_iterations_per_solve())
         ),
     }
+
+
+def run_dispatch_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    repeats: int = 3,
+    fft_workers: int | None = None,
+    backplanes: tuple[str, ...] = ("grounded", "floating"),
+) -> dict:
+    """Adaptive dispatch versus the two fixed solve engines, per backplane.
+
+    Times full dense extraction (``extract_dense`` — one wide ``solve_many``
+    block) three ways on the paper's regular-grid example: with the policy
+    pinned to the iterative engine, pinned to the direct engine, and left
+    adaptive.  Run for a grounded backplane (stacked-RHS CG vs. cached dense
+    Cholesky) and a floating one (block MINRES vs. the bordered
+    Schur-complement factorisation).  Every measurement uses a freshly built
+    solver so no factor or work buffer survives between repetitions; the
+    minimum over ``repeats`` is reported.  This is the experiment behind
+    ``BENCH_dispatch.json``: the adaptive policy must never be slower than
+    the worse fixed path, and the three extracted ``G`` matrices must agree.
+    """
+    from ..geometry.layouts import regular_grid
+    from ..substrate.bem.solver import EigenfunctionSolver
+    from ..substrate.dispatch import DispatchPolicy
+    from ..substrate.profile import SubstrateProfile
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profiles = {
+        "grounded": SubstrateProfile.two_layer_example(size=size, resistive_bottom=True),
+        "floating": SubstrateProfile.two_layer_example(size=size, grounded_backplane=False),
+    }
+
+    def timed_extraction(
+        profile: SubstrateProfile, force_path: str | None
+    ) -> tuple[float, np.ndarray, EigenfunctionSolver]:
+        best = np.inf
+        g = None
+        solver = None
+        for _ in range(max(1, repeats)):
+            solver = EigenfunctionSolver(
+                layout,
+                profile,
+                max_panels=max_panels,
+                rtol=rtol,
+                dispatch=DispatchPolicy(force_path=force_path),
+                fft_workers=fft_workers,
+            )
+            start = time.perf_counter()
+            g = extract_dense(solver)
+            best = min(best, time.perf_counter() - start)
+        return best, g, solver
+
+    out: dict = {
+        "n_side": int(n_side),
+        "n_contacts": int(layout.n_contacts),
+        "repeats": int(max(1, repeats)),
+    }
+    for backplane in backplanes:
+        profile = profiles[backplane]
+        t_iter, g_iter, s_iter = timed_extraction(profile, "iterative")
+        t_direct, g_direct, s_direct = timed_extraction(profile, "direct")
+        t_adaptive, g_adaptive, s_adaptive = timed_extraction(profile, None)
+        scale = float(np.abs(g_iter).max())
+        worse_fixed = max(t_iter, t_direct)
+        out.setdefault("panel_grid", int(s_iter.grid.nx))
+        out[backplane] = {
+            "iterative_s": float(t_iter),
+            "direct_s": float(t_direct),
+            "adaptive_s": float(t_adaptive),
+            "adaptive_path": s_adaptive.last_dispatch.path,
+            "adaptive_reason": s_adaptive.last_dispatch.reason,
+            "speedup_adaptive_vs_iterative": float(t_iter / t_adaptive),
+            "speedup_adaptive_vs_worse_fixed": float(worse_fixed / t_adaptive),
+            "max_abs_diff_rel": float(
+                max(
+                    np.abs(g_adaptive - g_iter).max(),
+                    np.abs(g_adaptive - g_direct).max(),
+                )
+                / scale
+            ),
+            "mean_iterations_iterative": float(s_iter.mean_iterations_per_solve()),
+            "n_direct_solves_adaptive": int(s_adaptive.stats.n_direct_solves),
+            "n_iterative_solves_adaptive": int(s_adaptive.stats.n_iterative_solves),
+        }
+    return out
 
 
 def singular_value_decay_experiment(

@@ -1,5 +1,11 @@
 """Substrate models and black-box solvers (Chapter 2)."""
 
+from .dispatch import (
+    DispatchDecision,
+    DispatchPolicy,
+    SolveCostModel,
+    resolve_fft_workers,
+)
 from .extraction import (
     check_conductance_properties,
     extract_columns,
@@ -10,6 +16,7 @@ from .solver_base import (
     CallableSolver,
     CountingSolver,
     DenseMatrixSolver,
+    SolveStats,
     SubstrateSolver,
 )
 
@@ -17,9 +24,14 @@ __all__ = [
     "Layer",
     "SubstrateProfile",
     "SubstrateSolver",
+    "SolveStats",
     "CountingSolver",
     "DenseMatrixSolver",
     "CallableSolver",
+    "DispatchPolicy",
+    "DispatchDecision",
+    "SolveCostModel",
+    "resolve_fft_workers",
     "extract_dense",
     "extract_columns",
     "check_conductance_properties",

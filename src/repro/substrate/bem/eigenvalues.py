@@ -42,6 +42,7 @@ __all__ = [
     "mode_eigenvalue",
     "eigenvalue_table",
     "eigenvalue_table_cache_clear",
+    "eigenvalue_table_cache_info",
     "eigenvalue_coefficient_recursion",
 ]
 
@@ -101,6 +102,15 @@ _TABLE_CACHE_MAX = 32
 def eigenvalue_table_cache_clear() -> None:
     """Drop all memoised eigenvalue tables (tests / memory pressure)."""
     _TABLE_CACHE.clear()
+
+
+def eigenvalue_table_cache_info() -> dict[str, int]:
+    """Current size and bound of the eigenvalue-table LRU.
+
+    ``size`` can never exceed ``max_size``: every insertion evicts the
+    least-recently-used entries down to the bound (pinned by the cache tests).
+    """
+    return {"size": len(_TABLE_CACHE), "max_size": _TABLE_CACHE_MAX}
 
 
 def eigenvalue_table(

@@ -26,6 +26,7 @@ import numpy as np
 from scipy import fft as sp_fft
 
 from ...geometry.panels import PanelGrid
+from ..dispatch import resolve_fft_workers
 from ..profile import SubstrateProfile
 from .eigenvalues import eigenvalue_table
 
@@ -45,10 +46,19 @@ class SurfaceOperator:
     use_fft:
         Apply through ``scipy.fft.dct`` (True, default) or through cached
         cosine matrices (False).
+    fft_workers:
+        Worker-thread count passed to every ``scipy.fft`` transform, resolved
+        through :func:`~repro.substrate.dispatch.resolve_fft_workers`
+        (default: all CPUs when the host has more than one, else
+        single-threaded).
     """
 
     def __init__(
-        self, grid: PanelGrid, profile: SubstrateProfile, use_fft: bool = True
+        self,
+        grid: PanelGrid,
+        profile: SubstrateProfile,
+        use_fft: bool = True,
+        fft_workers: int | None = None,
     ) -> None:
         if not np.isclose(grid.layout.size_x, profile.size_x) or not np.isclose(
             grid.layout.size_y, profile.size_y
@@ -57,6 +67,8 @@ class SurfaceOperator:
         self.grid = grid
         self.profile = profile
         self.use_fft = use_fft
+        #: resolved ``workers=`` argument for every scipy.fft call (None = 1)
+        self.fft_workers = resolve_fft_workers(fft_workers)
 
         nx, ny = grid.nx, grid.ny
         lam = eigenvalue_table(nx, ny, profile)
@@ -123,13 +135,18 @@ class SurfaceOperator:
         )
 
     def _apply_fft(self, q: np.ndarray) -> np.ndarray:
+        workers = self.fft_workers
         # forward: C q  (DCT-II without normalisation is 2*C per axis);
         # axes (0, 1) leave an optional trailing batch axis untouched.
-        modal = sp_fft.dctn(q, type=2, norm=None, axes=(0, 1)) * 0.25
+        modal = sp_fft.dctn(q, type=2, norm=None, axes=(0, 1), workers=workers) * 0.25
         modal *= self._batch_weights(q.ndim)
         # backward: C' y per axis; C'[i,m] y[m] = 0.5*(dct3(y)[i] + y[0])
-        tmp = 0.5 * (sp_fft.dct(modal, type=3, axis=0, norm=None) + modal[0:1])
-        out = 0.5 * (sp_fft.dct(tmp, type=3, axis=1, norm=None) + tmp[:, 0:1])
+        tmp = 0.5 * (
+            sp_fft.dct(modal, type=3, axis=0, norm=None, workers=workers) + modal[0:1]
+        )
+        out = 0.5 * (
+            sp_fft.dct(tmp, type=3, axis=1, norm=None, workers=workers) + tmp[:, 0:1]
+        )
         return out
 
     def apply_flat(self, panel_currents_flat: np.ndarray) -> np.ndarray:
@@ -176,9 +193,10 @@ class SurfaceOperator:
         cp = self.grid.all_contact_panels
         work[:, cp] = q_block
         grid = work.reshape(k, self.grid.nx, self.grid.ny)
-        modal = sp_fft.dctn(grid, type=2, norm="ortho", axes=(1, 2))
+        workers = self.fft_workers
+        modal = sp_fft.dctn(grid, type=2, norm="ortho", axes=(1, 2), workers=workers)
         modal *= self.weights_ortho
-        pot = sp_fft.idctn(modal, type=2, norm="ortho", axes=(1, 2))
+        pot = sp_fft.idctn(modal, type=2, norm="ortho", axes=(1, 2), workers=workers)
         return pot.reshape(k, -1)[:, cp]
 
     # ------------------------------------------------------------- diagnostics
@@ -234,6 +252,8 @@ class SurfaceOperator:
                 * cox[:, panels // ny].T[:, :, None]
                 * coy[:, panels % ny].T[:, None, :]
             )
-            rows = sp_fft.idctn(modal, type=2, norm="ortho", axes=(1, 2))
+            rows = sp_fft.idctn(
+                modal, type=2, norm="ortho", axes=(1, 2), workers=self.fft_workers
+            )
             out[start:start + panels.size] = rows.reshape(panels.size, -1)[:, cp]
         return out

@@ -16,21 +16,29 @@ bordered (saddle-point) system
     [ 1'    0 ] [c] = [0]
 
 with MINRES, which yields the gauge constant ``c`` alongside the currents.
+
+Batched solves (:meth:`EigenfunctionSolver.solve_many`) are routed per block
+by a :class:`~repro.substrate.dispatch.DispatchPolicy` between the stacked-RHS
+Krylov engines and a factor-once/solve-all direct engine: dense Cholesky of
+``A_cc`` for a grounded backplane, and a Schur-complement (bordered Cholesky)
+factorisation of the saddle-point system for a floating one, so wide floating
+blocks no longer pay one MINRES iteration history per column.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+import warnings
 
 import numpy as np
 from scipy import sparse
-from scipy.linalg import LinAlgError, cho_factor, cho_solve
+from scipy.linalg import LinAlgError, cho_factor, cho_solve, lu_factor, lu_solve
 from scipy.sparse.linalg import LinearOperator, cg, minres
 
 from ...geometry.contact import ContactLayout
 from ...geometry.panels import PanelGrid
+from ..dispatch import DispatchDecision, DispatchPolicy
 from ..profile import SubstrateProfile
-from ..solver_base import SubstrateSolver
+from ..solver_base import SolveStats, SubstrateSolver
 from .operator import SurfaceOperator
 
 __all__ = ["EigenfunctionSolver"]
@@ -43,22 +51,25 @@ def _minres_block(
     rtol: float,
     maxiter: int,
 ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
-    """Preconditioned MINRES carried simultaneously over the columns of ``b``.
+    """Preconditioned MINRES carried simultaneously over the rows of ``b``.
 
     Standard Paige–Saunders recurrences with every scalar promoted to a
-    per-column vector; ``matmat`` applies the (symmetric, possibly indefinite)
-    operator to a whole column block and ``diag`` is a positive diagonal
-    preconditioner given as an ``(n, 1)`` column.  Columns are frozen once
-    their preconditioned relative residual estimate drops below ``rtol``.
+    per-RHS vector.  The iteration is **batch-major**: ``b`` is a ``(k, n)``
+    block whose rows are independent right-hand sides, ``matmat`` applies the
+    (symmetric, possibly indefinite) operator to such a block, and ``diag`` is
+    a positive diagonal preconditioner given as a ``(1, n)`` row.  Keeping the
+    batch axis first leaves each RHS's panel data contiguous through the
+    stacked DCTs — the same layout the grounded CG path uses.  Rows are frozen
+    once their preconditioned relative residual estimate drops below ``rtol``.
 
-    Returns ``(x, iterations_per_column, still_active_mask)``.
+    Returns ``(x, iterations_per_rhs, still_active_mask)``.
     """
-    n_rhs = b.shape[1]
+    n_rhs = b.shape[0]
     eps = np.finfo(float).eps
     x = np.zeros_like(b)
     r1 = b.copy()
     y = r1 / diag
-    beta1 = np.sqrt(np.maximum(np.einsum("ij,ij->j", r1, y), 0.0))
+    beta1 = np.sqrt(np.maximum(np.einsum("ij,ij->i", r1, y), 0.0))
     active = beta1 > 0.0
     iters = np.zeros(n_rhs, dtype=int)
     if not active.any():
@@ -78,17 +89,17 @@ def _minres_block(
 
     for itn in range(1, maxiter + 1):
         safe_beta = np.where(beta > 0, beta, 1.0)
-        v = y / safe_beta
+        v = y / safe_beta[:, None]
         y = matmat(v)
         if itn >= 2:
-            y -= (beta / np.where(oldb > 0, oldb, 1.0)) * r1
-        alfa = np.einsum("ij,ij->j", v, y)
-        y -= (alfa / safe_beta) * r2
+            y -= (beta / np.where(oldb > 0, oldb, 1.0))[:, None] * r1
+        alfa = np.einsum("ij,ij->i", v, y)
+        y -= (alfa / safe_beta)[:, None] * r2
         r1 = r2
         r2 = y
         y = r2 / diag
         oldb = beta
-        beta = np.sqrt(np.maximum(np.einsum("ij,ij->j", r2, y), 0.0))
+        beta = np.sqrt(np.maximum(np.einsum("ij,ij->i", r2, y), 0.0))
 
         oldeps = epsln
         delta = cs * dbar + sn * alfa
@@ -103,40 +114,13 @@ def _minres_block(
 
         w1 = w2
         w2 = w
-        w = (v - oldeps * w1 - delta * w2) / gamma
-        x[:, active] += phi[active] * w[:, active]
+        w = (v - oldeps[:, None] * w1 - delta[:, None] * w2) / gamma[:, None]
+        x[active] += phi[active, None] * w[active]
         iters[active] += 1
         active = active & (np.abs(phibar) / safe_beta1 > rtol)
         if not active.any():
             break
     return x, iters, active
-
-
-@dataclass
-class _SolveStats:
-    """Bookkeeping for Table 2.2-style reporting.
-
-    Direct (factor-once) solves run no Krylov iterations and are counted
-    separately so :attr:`mean_iterations` keeps meaning "iterations per
-    *iterative* solve" even for workloads that mix both engines.
-    """
-
-    n_solves: int = 0
-    n_direct_solves: int = 0
-    total_iterations: int = 0
-    iterations_per_solve: list[int] = field(default_factory=list)
-
-    def record(self, iterations: int) -> None:
-        self.n_solves += 1
-        self.total_iterations += iterations
-        self.iterations_per_solve.append(iterations)
-
-    def record_direct(self, n_solves: int) -> None:
-        self.n_direct_solves += n_solves
-
-    @property
-    def mean_iterations(self) -> float:
-        return self.total_iterations / self.n_solves if self.n_solves else 0.0
 
 
 class EigenfunctionSolver(SubstrateSolver):
@@ -159,15 +143,25 @@ class EigenfunctionSolver(SubstrateSolver):
     max_batch:
         Largest number of right-hand-side columns iterated at once by
         :meth:`solve_many`; wider blocks are split into chunks of this size to
-        bound peak memory (each chunk holds a few ``(nx, ny, max_batch)``
-        work arrays).
+        bound peak memory on **both** engines (the iterative path holds a few
+        ``(max_batch, nx, ny)`` work arrays, the direct path a
+        ``(ncp, max_batch)`` RHS/solution pair).
     max_direct_panels:
         Ceiling on the number of contact panels for which :meth:`solve_many`
-        may build and cache a dense Cholesky factorisation of the
-        contact-panel block (memory is ``O(ncp^2)``).  Wide grounded RHS
-        blocks then amortise one factorisation across all columns — the
-        multi-RHS analogue of a direct solver.  Set to 0 to force the
+        may build and cache a dense factorisation of the contact-panel block
+        (memory is ``O(ncp^2)``).  Shorthand for the same knob on the default
+        :class:`~repro.substrate.dispatch.DispatchPolicy`; ignored when an
+        explicit ``dispatch`` policy is given.  Set to 0 to force the
         iterative path.
+    dispatch:
+        Adaptive :class:`~repro.substrate.dispatch.DispatchPolicy` routing
+        each ``solve_many`` block between the direct and iterative engines.
+        ``None`` builds a default policy from ``max_direct_panels``.
+    fft_workers:
+        Worker-thread count for the stacked ``scipy.fft`` transforms,
+        resolved through
+        :func:`~repro.substrate.dispatch.resolve_fft_workers` (default: all
+        CPUs when the host has more than one).
     """
 
     def __init__(
@@ -180,28 +174,48 @@ class EigenfunctionSolver(SubstrateSolver):
         use_fft: bool = True,
         max_batch: int = 256,
         max_direct_panels: int = 4096,
+        dispatch: DispatchPolicy | None = None,
+        fft_workers: int | None = None,
     ) -> None:
         self.layout = layout
         self.profile = profile
         self.grid = PanelGrid.for_layout(
             layout, panels_per_min_contact=panels_per_contact, max_panels=max_panels
         )
-        self.operator = SurfaceOperator(self.grid, profile, use_fft=use_fft)
+        self.operator = SurfaceOperator(
+            self.grid, profile, use_fft=use_fft, fft_workers=fft_workers
+        )
         self.rtol = rtol
         self.max_batch = int(max_batch)
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
-        self.stats = _SolveStats()
-        self.max_direct_panels = int(max_direct_panels)
-        #: cached Cholesky factor of A_cc for the wide-block direct path
-        self._chol: tuple[np.ndarray, bool] | None = None
-        self._chol_failed = False
+        self.stats = SolveStats()
+        self.dispatch = (
+            dispatch
+            if dispatch is not None
+            else DispatchPolicy(max_direct_panels=max_direct_panels)
+        )
+        #: routing decision of the most recent solve_many block (diagnostics)
+        self.last_dispatch: DispatchDecision | None = None
+        #: gauge constants ``c`` (one per column) of the most recent
+        #: floating-backplane solve, on either engine
+        self.last_gauge_constants: np.ndarray | None = None
+        #: cached dense factorisation for the direct path; one of
+        #: ("chol", factor) for grounded backplanes,
+        #: ("schur", factor, w, s) or ("bordered", lu, piv) for floating ones
+        self._direct_factor: tuple | None = None
+        self._direct_failed = False
         self._incidence: sparse.csr_matrix | None = None
         self._jacobi = self.operator.contact_block_diagonal()
         if np.any(self._jacobi <= 0):
             # floating backplane has a zero uniform mode; the diagonal stays
             # positive in practice, but guard against degenerate grids.
             self._jacobi = np.maximum(self._jacobi, np.max(self._jacobi) * 1e-12 + 1e-300)
+
+    @property
+    def max_direct_panels(self) -> int:
+        """Dense-factorisation panel ceiling (delegates to the policy)."""
+        return self.dispatch.max_direct_panels
 
     # ----------------------------------------------------------------- solves
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
@@ -267,67 +281,119 @@ class EigenfunctionSolver(SubstrateSolver):
         if info > 0:
             raise RuntimeError("MINRES did not converge")
         self.stats.record(iterations)
+        # the MINRES border unknown is scaled; the physical gauge constant
+        # satisfies A_cc q + c 1 = v
+        self.last_gauge_constants = np.array([scale * sol[-1]])
         return sol[:-1]
 
     # ---------------------------------------------------------- batched solves
     def solve_many(self, voltages: np.ndarray) -> np.ndarray:
-        """Batched black-box solve: one Krylov iteration over stacked RHS.
+        """Batched black-box solve with adaptive direct/iterative dispatch.
 
-        All columns share the operator applies — a single stacked 2-D DCT per
-        iteration instead of one DCT pipeline per contact — which is where the
-        multi-RHS extraction speedup comes from.  Column ``j`` of the result
-        matches ``solve_currents(voltages[:, j])`` to the solver tolerance.
+        The :class:`~repro.substrate.dispatch.DispatchPolicy` routes the whole
+        block once — so a one-time factorisation is amortised over every
+        column of the block — and the chosen engine then chunks internally at
+        ``max_batch`` columns to bound peak memory.  Column ``j`` of the
+        result matches ``solve_currents(voltages[:, j])`` to the solver
+        tolerance on either engine.
         """
         v = np.asarray(voltages, dtype=float)
         if v.ndim != 2 or v.shape[0] != self.layout.n_contacts:
             raise ValueError("expected an (n_contacts, k) voltage block")
-        if self._use_direct(v.shape[1]):
+        if v.shape[1] == 0:
+            return np.empty_like(v)
+        decision = self.dispatch.choose(
+            n_panels=self.grid.n_contact_panels,
+            n_rhs=v.shape[1],
+            grid_points=self.grid.n_panels,
+            grounded=self.profile.grounded_backplane,
+            factor_cached=self._direct_factor is not None,
+            factor_failed=self._direct_failed,
+        )
+        self.last_dispatch = decision
+        if decision.path == "direct":
             solved = self._solve_many_direct(v)
             if solved is not None:
                 return solved
+            warnings.warn(
+                "dense contact-block factorisation failed (numerically non-SPD "
+                "contact block); falling back to the iterative path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.last_dispatch = DispatchDecision(
+                "iterative", "direct factorisation failed"
+            )
         out = np.empty_like(v)
+        # accumulate per-column gauge constants across chunks (each floating
+        # chunk solve overwrites last_gauge_constants with its own columns)
+        gauges = None if self.profile.grounded_backplane else np.empty(v.shape[1])
         for start in range(0, v.shape[1], self.max_batch):
             chunk = slice(start, min(start + self.max_batch, v.shape[1]))
             out[:, chunk] = self._solve_many_chunk(v[:, chunk])
+            if gauges is not None:
+                gauges[chunk] = self.last_gauge_constants
+        if gauges is not None:
+            self.last_gauge_constants = gauges
         return out
 
-    # -------------------------------------------------- wide-block direct path
-    def _use_direct(self, n_rhs: int) -> bool:
-        """Whether the dense factor-once / solve-all path should serve a block.
+    # -------------------------------------------------------------- direct path
+    def _ensure_direct_factor(self) -> None:
+        """Build (once) and factor the dense contact-panel system.
 
-        A dense Cholesky of ``A_cc`` costs ``O(ncp^3)`` once but turns every
-        further column into two triangular solves, so it wins for wide blocks
-        (``k`` at least a modest fraction of ``ncp``) and for any block once
-        the factor is cached.  Grounded backplane only — the floating saddle
-        system keeps the vectorised MINRES path.
+        Grounded backplane: Cholesky of ``A_cc``.  Floating backplane: the
+        bordered saddle-point system is factored through its Schur complement
+        — Cholesky of ``A_cc`` (SPD whenever the contacts do not tile the
+        whole surface, since the excluded uniform mode cannot be represented
+        by a current pattern supported on a strict panel subset) plus the
+        solved border column ``w = A_cc^{-1} 1`` and pivot ``s = 1' w``.  If
+        that Cholesky fails the full bordered matrix is LU-factored instead.
         """
-        if not self.profile.grounded_backplane or self._chol_failed:
-            return False
-        ncp = self.grid.n_contact_panels
-        if ncp > self.max_direct_panels:
-            return False
-        if self._chol is not None:
-            return True
-        return n_rhs >= max(16, ncp // 8)
-
-    def _ensure_cholesky(self) -> None:
-        """Build (once) the dense ``A_cc`` via batched applies and factor it."""
-        if self._chol is not None:
+        if self._direct_factor is not None:
             return
         a_cc = self.operator.contact_block_matrix(max_batch=self.max_batch)
         # the exact operator is symmetric; remove transform round-off before
         # factorising
         a_cc = 0.5 * (a_cc + a_cc.T)
-        self._chol = cho_factor(a_cc, lower=True, overwrite_a=True)
+        if self.profile.grounded_backplane:
+            self._direct_factor = ("chol", cho_factor(a_cc, lower=True, overwrite_a=True))
+            return
+        ncp = a_cc.shape[0]
+        ones = np.ones(ncp)
+        try:
+            chol = cho_factor(a_cc, lower=True)
+            w = cho_solve(chol, ones)
+            s = float(ones @ w)
+            if not np.isfinite(s) or s <= 0.0:
+                raise LinAlgError("degenerate Schur complement")
+            self._direct_factor = ("schur", chol, w, s)
+            return
+        except LinAlgError:
+            # contacts tiling the whole surface make A_cc singular (the gauge
+            # direction); the bordered matrix itself is still invertible.
+            bordered = np.zeros((ncp + 1, ncp + 1))
+            bordered[:ncp, :ncp] = a_cc
+            bordered[:ncp, -1] = 1.0
+            bordered[-1, :ncp] = 1.0
+            lu, piv = lu_factor(bordered)
+            u_diag = np.abs(np.diag(lu))
+            if u_diag.min() <= ncp * np.finfo(float).eps * u_diag.max():
+                raise LinAlgError("bordered saddle-point matrix is singular")
+            self._direct_factor = ("bordered", lu, piv)
 
     def _solve_many_direct(self, v: np.ndarray) -> np.ndarray | None:
-        """Factor-once / solve-all path; returns None on factorisation failure."""
+        """Factor-once / solve-all path; returns None on factorisation failure.
+
+        The RHS/solution pair is processed in ``max_batch``-column chunks so a
+        very wide block never materialises the full ``(ncp, k)`` panel arrays
+        at once — the same memory bound the iterative path observes.
+        """
         try:
-            self._ensure_cholesky()
+            self._ensure_direct_factor()
         except LinAlgError:
-            # numerically non-SPD contact block (degenerate grid): fall back
-            # to the iterative path for the lifetime of this solver.
-            self._chol_failed = True
+            # numerically non-SPD / singular contact block (degenerate grid):
+            # the caller falls back to the iterative path with a warning.
+            self._direct_failed = True
             return None
         # contact -> panel spread and panel -> contact sum, restricted to the
         # contact panels (owner gather / sparse incidence product)
@@ -338,10 +404,35 @@ class EigenfunctionSolver(SubstrateSolver):
                 (np.ones(ncp), (owner, np.arange(ncp))),
                 shape=(self.layout.n_contacts, ncp),
             )
-        q_panel = cho_solve(self._chol, v[owner])
-        self.stats.record_direct(v.shape[1])
-        return self._incidence @ q_panel
+        kind = self._direct_factor[0]
+        k_total = v.shape[1]
+        grounded = self.profile.grounded_backplane
+        out = np.empty_like(v)
+        gauges = None if grounded else np.empty(k_total)
+        for start in range(0, k_total, self.max_batch):
+            chunk = slice(start, min(start + self.max_batch, k_total))
+            v_panel = v[:, chunk][owner]
+            if kind == "chol":
+                q_panel = cho_solve(self._direct_factor[1], v_panel)
+            elif kind == "schur":
+                _, chol, w, s = self._direct_factor
+                q0 = cho_solve(chol, v_panel)
+                c = q0.sum(axis=0) / s
+                q_panel = q0 - w[:, None] * c
+                gauges[chunk] = c
+            else:  # bordered LU
+                _, lu, piv = self._direct_factor
+                rhs = np.vstack([v_panel, np.zeros((1, v_panel.shape[1]))])
+                sol = lu_solve((lu, piv), rhs)
+                q_panel = sol[:-1]
+                gauges[chunk] = sol[-1]
+            out[:, chunk] = self._incidence @ q_panel
+        if gauges is not None:
+            self.last_gauge_constants = gauges
+        self.stats.record_direct(k_total)
+        return out
 
+    # ----------------------------------------------------------- iterative path
     def _solve_many_chunk(self, v: np.ndarray) -> np.ndarray:
         if v.shape[1] == 0:
             return np.empty_like(v)
@@ -401,31 +492,35 @@ class EigenfunctionSolver(SubstrateSolver):
         return x.T, iters
 
     def _solve_floating_block(self, v_panel: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
-        """Vectorised MINRES on the bordered (saddle-point) system.
+        """Batch-major vectorised MINRES on the bordered (saddle-point) system.
 
         Same formulation and preconditioner as the sequential
         :meth:`_solve_floating`, with the Lanczos/Givens recurrences carried
-        per column and the operator applied to the whole block at once.
+        per RHS and the operator applied to the whole block at once through
+        the batch-major ``apply_contact_panels_block`` fast path (one stacked
+        DCT pipeline per iteration, like the grounded CG path).
         """
-        ncp = self.grid.n_contact_panels
         n_rhs = v_panel.shape[1]
-        ones = np.ones(ncp)
         scale = float(np.mean(self._jacobi))
-        diag = np.concatenate([self._jacobi, [scale]])[:, None]
+        diag = np.concatenate([self._jacobi, [scale]])[None, :]
+        apply_block = self.operator.apply_contact_panels_block
 
         def matmat(x: np.ndarray) -> np.ndarray:
-            q, c = x[:-1], x[-1:]
-            top = self.operator.apply_contact_panels(q) + scale * (ones[:, None] * c)
-            bottom = scale * q.sum(axis=0, keepdims=True)
-            return np.concatenate([top, bottom], axis=0)
+            q, c = x[:, :-1], x[:, -1:]
+            top = apply_block(q) + scale * c  # c broadcasts over the ones row
+            bottom = scale * q.sum(axis=1, keepdims=True)
+            return np.concatenate([top, bottom], axis=1)
 
-        rhs = np.concatenate([v_panel, np.zeros((1, n_rhs))], axis=0)
+        rhs = np.concatenate(
+            [np.ascontiguousarray(v_panel.T), np.zeros((n_rhs, 1))], axis=1
+        )
         x, iters, active = _minres_block(matmat, rhs, diag, self.rtol, maxiter=4000)
         if active.any():
             raise RuntimeError(
                 f"batched MINRES did not converge for {int(active.sum())} column(s)"
             )
-        return x[:-1], iters
+        self.last_gauge_constants = scale * x[:, -1]
+        return x[:, :-1].T, iters
 
     # ------------------------------------------------------------ convenience
     def conductance_matrix(self) -> np.ndarray:
@@ -435,5 +530,11 @@ class EigenfunctionSolver(SubstrateSolver):
         return extract_dense(self)
 
     def mean_iterations_per_solve(self) -> float:
-        """Average iterative-solver iterations per black-box solve (Table 2.2)."""
+        """Average Krylov iterations per **iterative** black-box solve.
+
+        Solves served by the cached dense factorisation run zero Krylov
+        iterations and are excluded from this mean (they are reported
+        separately via ``stats.n_direct_solves``); see
+        :class:`~repro.substrate.solver_base.SolveStats`.
+        """
         return self.stats.mean_iterations

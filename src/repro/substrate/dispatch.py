@@ -1,0 +1,289 @@
+"""Adaptive solver-dispatch policy for batched substrate solves.
+
+The batched multi-RHS engine (``SubstrateSolver.solve_many``) has two
+fundamentally different ways to serve a block of right-hand sides:
+
+* **iterative** — stacked-RHS Krylov iterations (Jacobi-preconditioned CG for
+  a grounded backplane, block MINRES on the bordered saddle-point system for a
+  floating one).  Cost scales with ``iterations * k * N log N`` where ``N`` is
+  the panel-grid size, and nothing is ever factorised.
+* **direct** — assemble the dense contact-panel block ``A_cc`` once, factor it
+  (Cholesky, or a bordered/Schur-complement factorisation for the floating
+  saddle system) and turn every further column into two triangular solves.
+  Cost is ``O(ncp^3)`` once plus ``O(ncp^2)`` per column.
+
+Neither path wins everywhere: the direct path is ~1.7x faster for full dense
+extraction at ``n_side = 32`` but pure waste for a handful of columns on a
+fresh solver, while the iterative path is unbeatable for narrow blocks and the
+only option above the dense-memory ceiling.  :class:`DispatchPolicy` picks the
+path per ``solve_many`` block from a calibrated crossover model of
+``(n_panels, n_rhs, grid size)``, with an optional one-shot auto-tune probe
+that rescales the model's machine constants, and a ``force_path`` override for
+debugging and benchmarking.
+
+The module also hosts :func:`resolve_fft_workers`, the single place where the
+``workers=`` argument of every ``scipy.fft`` DCT call in the package is gated
+on :func:`os.cpu_count`.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DISPATCH_PATHS",
+    "DispatchDecision",
+    "SolveCostModel",
+    "DispatchPolicy",
+    "resolve_fft_workers",
+]
+
+#: the two engines a block can be routed to
+DISPATCH_PATHS = ("direct", "iterative")
+
+
+def resolve_fft_workers(workers: int | None = None) -> int | None:
+    """Resolve a user-facing ``fft_workers`` knob to a ``scipy.fft`` argument.
+
+    ``None`` (the default) asks for all available CPUs when the host has more
+    than one and stays single-threaded otherwise — spawning a worker pool on a
+    single-core box only adds overhead.  Explicit positive counts are passed
+    through (``1`` collapses to ``None``, scipy's single-threaded default) and
+    negative counts keep scipy's own convention (``-1`` = all CPUs).
+    """
+    if workers is None:
+        n = os.cpu_count() or 1
+        return n if n > 1 else None
+    w = int(workers)
+    if w == 0:
+        raise ValueError("fft_workers must be a nonzero int or None")
+    if w < 0:
+        return w
+    return w if w > 1 else None
+
+
+@dataclass
+class DispatchDecision:
+    """Outcome of one routing decision (kept on the solver for inspection)."""
+
+    path: str
+    reason: str
+    direct_cost: float | None = None
+    iterative_cost: float | None = None
+
+    def __post_init__(self) -> None:
+        if self.path not in DISPATCH_PATHS:
+            raise ValueError(f"unknown dispatch path {self.path!r}")
+
+
+@dataclass
+class SolveCostModel:
+    """Crossover model in abstract work units (1 unit = one dense-BLAS3 flop).
+
+    The defaults were calibrated against the ``BENCH_batched.json`` reference
+    runs: dense factor/triangular-solve flops run near hardware speed, the
+    scattered DCT pipeline (zero-pad, stacked transforms, gather) costs about
+    an order of magnitude more per nominal flop, and the dense-row assembly of
+    ``A_cc`` sits in between because it skips the scatter half.  Absolute
+    scale cancels in the comparison; only the ratios matter.
+    """
+
+    #: relative cost of one flop of the stacked-DCT apply pipeline
+    fft_unit: float = 12.0
+    #: relative cost of one flop of the dense ``A_cc`` row assembly
+    assembly_unit: float = 3.0
+    #: relative cost of one flop of the BLAS-1 vector updates per iteration
+    axpy_unit: float = 10.0
+    #: nominal flops per grid point and transform pass (2-D DCT round trip)
+    fft_flops_per_point: float = 5.0
+    #: BLAS-1 vector operations per Krylov iteration per contact panel
+    vector_ops_per_iteration: float = 10.0
+    #: expected Jacobi-PCG iterations for a grounded-backplane solve
+    iterations_grounded: float = 8.0
+    #: expected block-MINRES iterations for a floating-backplane solve
+    iterations_floating: float = 32.0
+
+    def _fft_apply_units(self, grid_points: int) -> float:
+        return self.fft_flops_per_point * grid_points * max(np.log2(grid_points), 1.0)
+
+    def direct_cost(
+        self,
+        n_panels: int,
+        n_rhs: int,
+        grid_points: int,
+        factor_cached: bool,
+        grounded: bool,
+    ) -> float:
+        """Estimated cost of serving the block through the dense factor."""
+        # two triangular solves per column
+        cost = 2.0 * float(n_panels) ** 2 * n_rhs
+        if not grounded:
+            # Schur-complement gauge correction: one rank-1 update per column
+            cost += 4.0 * n_panels * n_rhs * self.axpy_unit
+        if not factor_cached:
+            cost += float(n_panels) ** 3 / 3.0  # Cholesky
+            # dense A_cc assembly: one weighted inverse transform per row
+            cost += n_panels * self._fft_apply_units(grid_points) * self.assembly_unit
+        return cost
+
+    def iterative_cost(
+        self, n_panels: int, n_rhs: int, grid_points: int, grounded: bool
+    ) -> float:
+        """Estimated cost of the stacked-RHS Krylov path for the block."""
+        iters = self.iterations_grounded if grounded else self.iterations_floating
+        per_column_iteration = (
+            self._fft_apply_units(grid_points) * self.fft_unit
+            + self.vector_ops_per_iteration * n_panels * self.axpy_unit
+        )
+        return iters * n_rhs * per_column_iteration
+
+
+class DispatchPolicy:
+    """Chooses the solve engine for each ``solve_many`` block.
+
+    Parameters
+    ----------
+    max_direct_panels:
+        Ceiling on contact panels for which a dense factorisation may be built
+        and cached (memory is ``O(ncp^2)``); ``0`` disables the direct path.
+    force_path:
+        ``"direct"`` or ``"iterative"`` pins every block to one engine
+        (debugging / benchmarking).  A forced direct path still falls back to
+        iterative when the factorisation is impossible (too many panels, or a
+        failed factorisation), with the reason recorded on the decision.
+    cost_model:
+        The crossover model; defaults to a calibrated :class:`SolveCostModel`.
+    auto_tune:
+        Run a one-shot timing probe (dense Cholesky vs. stacked DCT) on the
+        first decision and rescale the model's ``fft_unit`` to this machine.
+    min_direct_rhs:
+        Never factor for blocks narrower than this when no factor is cached
+        (guards the cost model against degenerate inputs).
+    """
+
+    def __init__(
+        self,
+        max_direct_panels: int = 4096,
+        force_path: str | None = None,
+        cost_model: SolveCostModel | None = None,
+        auto_tune: bool = False,
+        min_direct_rhs: int = 2,
+    ) -> None:
+        if force_path is not None and force_path not in DISPATCH_PATHS:
+            raise ValueError(
+                f"force_path must be one of {DISPATCH_PATHS} or None, got {force_path!r}"
+            )
+        self.max_direct_panels = int(max_direct_panels)
+        self.force_path = force_path
+        self.cost_model = cost_model if cost_model is not None else SolveCostModel()
+        self.auto_tune = bool(auto_tune)
+        self.min_direct_rhs = int(min_direct_rhs)
+        self._tuned = False
+
+    # -------------------------------------------------------------- auto-tune
+    def auto_tune_probe(self, size: int = 160, batch: int = 8, grid: int = 64) -> float:
+        """One-shot machine probe: measured DCT-vs-Cholesky flop-cost ratio.
+
+        Times a small dense Cholesky (BLAS-3 throughput) against a stacked 2-D
+        DCT round trip (transform-pipeline throughput) and updates
+        ``cost_model.fft_unit`` with the measured ratio, clamped to a sane
+        range.  Runs at most once per policy; returns the ratio used.
+        """
+        if self._tuned:
+            return self.cost_model.fft_unit
+        self._tuned = True
+        try:
+            from scipy import fft as sp_fft
+
+            rng = np.random.default_rng(0)
+            a = rng.standard_normal((size, size))
+            spd = a @ a.T + size * np.eye(size)
+            start = time.perf_counter()
+            np.linalg.cholesky(spd)
+            chol_s = max(time.perf_counter() - start, 1e-9)
+            chol_per_flop = chol_s / (size**3 / 3.0)
+
+            block = rng.standard_normal((batch, grid, grid))
+            start = time.perf_counter()
+            modal = sp_fft.dctn(block, type=2, norm="ortho", axes=(1, 2))
+            sp_fft.idctn(modal, type=2, norm="ortho", axes=(1, 2))
+            fft_s = max(time.perf_counter() - start, 1e-9)
+            points = batch * grid * grid
+            fft_per_flop = fft_s / (
+                self.cost_model.fft_flops_per_point * points * np.log2(grid * grid)
+            )
+            ratio = float(np.clip(fft_per_flop / chol_per_flop, 1.0, 100.0))
+        except Exception:  # pragma: no cover - probe must never break a solve
+            return self.cost_model.fft_unit
+        self.cost_model.fft_unit = ratio
+        return ratio
+
+    # --------------------------------------------------------------- decision
+    def choose(
+        self,
+        n_panels: int,
+        n_rhs: int,
+        grid_points: int,
+        grounded: bool,
+        factor_cached: bool = False,
+        factor_failed: bool = False,
+    ) -> DispatchDecision:
+        """Route one ``solve_many`` block.
+
+        The decision is made once per block on the *full* column count — the
+        chosen engine then applies its own ``max_batch`` memory chunking — so
+        the one-time factorisation cost is amortised over the whole block, not
+        over a single chunk.
+        """
+        if self.auto_tune and not self._tuned:
+            self.auto_tune_probe()
+
+        direct_possible = (
+            not factor_failed and 0 < n_panels <= self.max_direct_panels
+        )
+        if self.force_path is not None:
+            if self.force_path == "direct" and not direct_possible:
+                return DispatchDecision(
+                    "iterative",
+                    "forced direct path unavailable "
+                    + ("(factorisation failed)" if factor_failed else "(panel ceiling)"),
+                )
+            return DispatchDecision(self.force_path, "forced")
+        if not direct_possible:
+            reason = (
+                "factorisation previously failed"
+                if factor_failed
+                else f"n_panels {n_panels} exceeds max_direct_panels {self.max_direct_panels}"
+            )
+            return DispatchDecision("iterative", reason)
+        if not factor_cached and n_rhs < self.min_direct_rhs:
+            return DispatchDecision(
+                "iterative", f"block narrower than min_direct_rhs {self.min_direct_rhs}"
+            )
+
+        direct = self.cost_model.direct_cost(
+            n_panels, n_rhs, grid_points, factor_cached, grounded
+        )
+        iterative = self.cost_model.iterative_cost(
+            n_panels, n_rhs, grid_points, grounded
+        )
+        if direct <= iterative:
+            return DispatchDecision(
+                "direct",
+                "cached factor" if factor_cached else "crossover model",
+                direct_cost=direct,
+                iterative_cost=iterative,
+            )
+        return DispatchDecision(
+            "iterative", "crossover model", direct_cost=direct, iterative_cost=iterative
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"DispatchPolicy(max_direct_panels={self.max_direct_panels}, "
+            f"force_path={self.force_path!r}, auto_tune={self.auto_tune})"
+        )

@@ -53,8 +53,12 @@ def extract_dense(
         If True, return ``(G + G') / 2``.  The exact operator is symmetric
         (Section 2.4) but iterative solvers introduce small asymmetries.
     block_size:
-        Columns per :meth:`solve_many` submission (default: all at once;
-        backends apply their own internal chunking for memory).
+        Columns per :meth:`solve_many` submission.  The default (all at
+        once) is usually right: backends chunk internally for memory, and
+        backends with an adaptive dispatch policy
+        (:class:`~repro.substrate.dispatch.DispatchPolicy`) route each
+        submitted block as a whole, so submitting the full width lets a
+        one-time factorisation amortise over the entire extraction.
     """
     n = solver.n_contacts
     return extract_columns(solver, np.arange(n), block_size=block_size, symmetrize=symmetrize)

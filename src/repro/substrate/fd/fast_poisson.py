@@ -19,6 +19,7 @@ from __future__ import annotations
 import numpy as np
 from scipy import fft as sp_fft
 
+from ..dispatch import resolve_fft_workers
 from .grid import Grid3D
 
 __all__ = ["FastPoissonPreconditioner"]
@@ -37,11 +38,21 @@ class FastPoissonPreconditioner:
         One of ``"dirichlet"``, ``"neumann"``, ``"area_weighted"`` or a float
         in [0, 1] giving the fraction ``p`` of the Dirichlet top conductance
         to include.
+    fft_workers:
+        Worker-thread count for the lateral DCT transforms, resolved through
+        :func:`~repro.substrate.dispatch.resolve_fft_workers` (default: all
+        CPUs when the host has more than one).
     """
 
-    def __init__(self, grid: Grid3D, top_mode: str | float = "area_weighted") -> None:
+    def __init__(
+        self,
+        grid: Grid3D,
+        top_mode: str | float = "area_weighted",
+        fft_workers: int | None = None,
+    ) -> None:
         self.grid = grid
         self.top_fraction = self._resolve_fraction(top_mode)
+        self.fft_workers = resolve_fft_workers(fft_workers)
         self._prepare_modal_systems()
 
     def _resolve_fraction(self, top_mode: str | float) -> float:
@@ -113,7 +124,9 @@ class FastPoissonPreconditioner:
         trail = (slice(None),) * 2 + (None,) * len(batch)
 
         # forward 2-D DCT (orthonormal) over the lateral directions
-        rhat = sp_fft.dctn(r, type=2, norm="ortho", axes=(1, 2))
+        rhat = sp_fft.dctn(
+            r, type=2, norm="ortho", axes=(1, 2), workers=self.fft_workers
+        )
 
         # Thomas algorithm per mode (vectorised over modes and RHS columns)
         denom = self._denom[(slice(None),) + trail] if batch else self._denom
@@ -127,7 +140,9 @@ class FastPoissonPreconditioner:
         for k in range(nz - 2, -1, -1):
             x[k] = d[k] - c_prime[k] * x[k + 1]
 
-        out = sp_fft.idctn(x, type=2, norm="ortho", axes=(1, 2))
+        out = sp_fft.idctn(
+            x, type=2, norm="ortho", axes=(1, 2), workers=self.fft_workers
+        )
         return out.reshape(residual.shape)
 
     def as_dense(self) -> np.ndarray:  # pragma: no cover - test helper for tiny grids

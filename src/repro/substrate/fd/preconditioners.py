@@ -110,7 +110,7 @@ def _incomplete_cholesky(matrix: sparse.csr_matrix) -> Callable[[np.ndarray], np
 
 
 def make_preconditioner(
-    name: str, assembly: FDAssembly
+    name: str, assembly: FDAssembly, fft_workers: int | None = None
 ) -> LinearOperator | None:
     """Build the named preconditioner as a ``LinearOperator`` (or None).
 
@@ -120,6 +120,9 @@ def make_preconditioner(
         One of :data:`PRECONDITIONER_NAMES`.
     assembly:
         The assembled finite-difference system.
+    fft_workers:
+        Worker-thread count for the fast-Poisson DCT transforms (forwarded to
+        :class:`FastPoissonPreconditioner`; ignored by the other variants).
     """
     n = assembly.grid.n_nodes
     if name == "none":
@@ -129,11 +132,17 @@ def make_preconditioner(
     elif name == "ic":
         apply = _incomplete_cholesky(assembly.matrix)
     elif name == "fast_poisson_dirichlet":
-        apply = FastPoissonPreconditioner(assembly.grid, "dirichlet").solve
+        apply = FastPoissonPreconditioner(
+            assembly.grid, "dirichlet", fft_workers=fft_workers
+        ).solve
     elif name == "fast_poisson_neumann":
-        apply = FastPoissonPreconditioner(assembly.grid, "neumann").solve
+        apply = FastPoissonPreconditioner(
+            assembly.grid, "neumann", fft_workers=fft_workers
+        ).solve
     elif name == "fast_poisson_area":
-        apply = FastPoissonPreconditioner(assembly.grid, "area_weighted").solve
+        apply = FastPoissonPreconditioner(
+            assembly.grid, "area_weighted", fft_workers=fft_workers
+        ).solve
     else:
         raise ValueError(
             f"unknown preconditioner {name!r}; expected one of {PRECONDITIONER_NAMES}"

@@ -7,35 +7,17 @@ the same black-box contract as the eigenfunction solver.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-
 import numpy as np
 from scipy.sparse.linalg import cg
 
 from ...geometry.contact import ContactLayout
 from ..profile import SubstrateProfile
-from ..solver_base import SubstrateSolver
+from ..solver_base import SolveStats, SubstrateSolver
 from .assembly import FDAssembly
 from .grid import Grid3D
 from .preconditioners import make_preconditioner
 
 __all__ = ["FiniteDifferenceSolver"]
-
-
-@dataclass
-class _SolveStats:
-    n_solves: int = 0
-    total_iterations: int = 0
-    iterations_per_solve: list[int] = field(default_factory=list)
-
-    def record(self, iterations: int) -> None:
-        self.n_solves += 1
-        self.total_iterations += iterations
-        self.iterations_per_solve.append(iterations)
-
-    @property
-    def mean_iterations(self) -> float:
-        return self.total_iterations / self.n_solves if self.n_solves else 0.0
 
 
 class FiniteDifferenceSolver(SubstrateSolver):
@@ -60,6 +42,12 @@ class FiniteDifferenceSolver(SubstrateSolver):
     max_batch:
         Largest number of right-hand-side columns iterated at once by
         :meth:`solve_many` (bounds the ``(n_nodes, k)`` work arrays).
+    fft_workers:
+        Worker-thread count for the fast-Poisson preconditioner's DCT
+        transforms, resolved through
+        :func:`~repro.substrate.dispatch.resolve_fft_workers` (default: all
+        CPUs when the host has more than one).  Ignored by the non-DCT
+        preconditioners.
     """
 
     def __init__(
@@ -72,18 +60,21 @@ class FiniteDifferenceSolver(SubstrateSolver):
         preconditioner: str = "fast_poisson_area",
         rtol: float = 1e-8,
         max_batch: int = 128,
+        fft_workers: int | None = None,
     ) -> None:
         self.layout = layout
         self.profile = profile
         self.grid = Grid3D(layout, profile, nx, ny, planes_per_layer)
         self.assembly = FDAssembly(self.grid)
         self.preconditioner_name = preconditioner
-        self._m_inv = make_preconditioner(preconditioner, self.assembly)
+        self._m_inv = make_preconditioner(
+            preconditioner, self.assembly, fft_workers=fft_workers
+        )
         self.rtol = rtol
         self.max_batch = int(max_batch)
         if self.max_batch < 1:
             raise ValueError("max_batch must be at least 1")
-        self.stats = _SolveStats()
+        self.stats = SolveStats()
 
     # ----------------------------------------------------------------- solves
     def solve_potentials(self, voltages: np.ndarray) -> np.ndarray:
@@ -187,5 +178,10 @@ class FiniteDifferenceSolver(SubstrateSolver):
         return extract_dense(self)
 
     def mean_iterations_per_solve(self) -> float:
-        """Average PCG iterations per solve (Tables 2.1 and 2.2)."""
+        """Average PCG iterations per iterative solve (Tables 2.1 and 2.2).
+
+        See :class:`~repro.substrate.solver_base.SolveStats`: direct solves
+        (none in this backend today) are reported separately and never dilute
+        this mean.
+        """
         return self.stats.mean_iterations

@@ -10,13 +10,73 @@ dense-matrix-backed solver that is invaluable for testing.
 from __future__ import annotations
 
 import abc
+from dataclasses import dataclass, field
 from typing import Callable
 
 import numpy as np
 
 from ..geometry.contact import ContactLayout
 
-__all__ = ["SubstrateSolver", "CountingSolver", "DenseMatrixSolver", "CallableSolver"]
+__all__ = [
+    "SolveStats",
+    "SubstrateSolver",
+    "CountingSolver",
+    "DenseMatrixSolver",
+    "CallableSolver",
+]
+
+
+@dataclass
+class SolveStats:
+    """Per-solver bookkeeping for Table 2.1/2.2-style convergence reporting.
+
+    Iterative (Krylov) solves and direct (factor-once/solve-all) solves are
+    tracked **separately**: a direct solve runs zero Krylov iterations, and
+    folding it into the iteration mean would skew the reported convergence
+    metric toward zero for any workload that mixes both engines.
+    :attr:`mean_iterations` is therefore always "iterations per *iterative*
+    solve"; direct solves only show up in :attr:`n_direct_solves` and
+    :attr:`n_solves`.
+    """
+
+    #: number of solves served by a Krylov iteration (CG / MINRES / PCG)
+    n_iterative_solves: int = 0
+    #: number of solves served by a cached dense factorisation
+    n_direct_solves: int = 0
+    total_iterations: int = 0
+    iterations_per_solve: list[int] = field(default_factory=list)
+
+    def record(self, iterations: int) -> None:
+        """Record one iterative solve and its Krylov iteration count."""
+        self.n_iterative_solves += 1
+        self.total_iterations += iterations
+        self.iterations_per_solve.append(iterations)
+
+    def record_direct(self, n_solves: int = 1) -> None:
+        """Record ``n_solves`` columns served by the direct (factored) path."""
+        self.n_direct_solves += n_solves
+
+    @property
+    def n_solves(self) -> int:
+        """Total black-box solves served, either engine."""
+        return self.n_iterative_solves + self.n_direct_solves
+
+    @property
+    def mean_iterations(self) -> float:
+        """Mean Krylov iterations per **iterative** solve (0.0 if none ran)."""
+        if self.n_iterative_solves == 0:
+            return 0.0
+        return self.total_iterations / self.n_iterative_solves
+
+    def as_dict(self) -> dict[str, float | int]:
+        """Summary with iterative and direct counts reported separately."""
+        return {
+            "n_solves": self.n_solves,
+            "n_iterative_solves": self.n_iterative_solves,
+            "n_direct_solves": self.n_direct_solves,
+            "total_iterations": self.total_iterations,
+            "mean_iterations": self.mean_iterations,
+        }
 
 
 class SubstrateSolver(abc.ABC):
@@ -29,6 +89,13 @@ class SubstrateSolver(abc.ABC):
 
     #: the contact layout this solver was built for
     layout: ContactLayout
+
+    #: optional adaptive direct-vs-iterative routing policy
+    #: (:class:`~repro.substrate.dispatch.DispatchPolicy`).  ``None`` means
+    #: the backend has a single solve engine; backends with both a factored
+    #: and an iterative path (the eigenfunction solver) set one and consult
+    #: it per :meth:`solve_many` block.
+    dispatch = None
 
     @property
     def n_contacts(self) -> int:

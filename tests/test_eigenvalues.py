@@ -8,6 +8,8 @@ from repro.substrate import Layer, SubstrateProfile
 from repro.substrate.bem import (
     eigenvalue_coefficient_recursion,
     eigenvalue_table,
+    eigenvalue_table_cache_clear,
+    eigenvalue_table_cache_info,
     mode_eigenvalue,
 )
 
@@ -96,6 +98,50 @@ class TestEigenvalueTable:
         table = eigenvalue_table(4, 4, prof)
         assert table[0, 0] == 0.0
         assert np.all(table.ravel()[1:] > 0)
+
+
+class TestEigenvalueTableCache:
+    def test_returned_table_is_read_only_and_mutation_raises(self):
+        prof = SubstrateProfile.two_layer_example()
+        table = eigenvalue_table(6, 6, prof)
+        assert not table.flags.writeable
+        with pytest.raises(ValueError):
+            table[0, 0] = 123.0
+        # the read-only flag survives the cache round-trip: a second lookup
+        # hands out the same immutable array, not a writable copy
+        again = eigenvalue_table(6, 6, prof)
+        assert again is table
+        assert not again.flags.writeable
+        with pytest.raises(ValueError):
+            again[1, 1] = -1.0
+
+    def test_lru_eviction_bounds_growth(self):
+        eigenvalue_table_cache_clear()
+        info = eigenvalue_table_cache_info()
+        assert info["size"] == 0
+        max_size = info["max_size"]
+        prof = SubstrateProfile.uniform(64, 20.0)
+        # fill past the bound with distinct (n_modes_x, n_modes_y) keys
+        first = eigenvalue_table(2, 2, prof)
+        for m in range(3, max_size + 4):
+            eigenvalue_table(m, 2, prof)
+        info = eigenvalue_table_cache_info()
+        assert info["size"] <= max_size  # eviction actually fired
+        # the least-recently-used entry (the first key) was dropped: a fresh
+        # lookup recomputes rather than returning the original object
+        assert eigenvalue_table(2, 2, prof) is not first
+        eigenvalue_table_cache_clear()
+
+    def test_lru_recency_is_refreshed_on_hit(self):
+        eigenvalue_table_cache_clear()
+        max_size = eigenvalue_table_cache_info()["max_size"]
+        prof = SubstrateProfile.uniform(64, 20.0)
+        keep = eigenvalue_table(2, 2, prof)
+        # touch `keep` between insertions so it is never the LRU victim
+        for m in range(3, max_size + 4):
+            eigenvalue_table(m, 2, prof)
+            assert eigenvalue_table(2, 2, prof) is keep
+        eigenvalue_table_cache_clear()
 
 
 @settings(max_examples=30, deadline=None)
