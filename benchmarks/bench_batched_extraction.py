@@ -16,28 +16,18 @@ or through pytest like the other benchmarks.
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
 # usable both as a pytest module (benchmarks/conftest.py handles common) and
 # as a standalone script for the CI smoke run
 sys.path.insert(0, str(Path(__file__).parent))
-_SRC = Path(__file__).parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+
+from common import default_sizes, emit_benchmark, ensure_repro_importable
+
+ensure_repro_importable()
 
 from repro.experiments import run_batched_extraction_experiment
-
-from common import write_json, write_result
-
-
-def default_sizes() -> list[int]:
-    """n_side values to benchmark: env override or the paper pair {16, 32}."""
-    env = os.environ.get("REPRO_BENCH_NSIDE")
-    if env:
-        return [int(env)]
-    return [16, 32]
 
 
 def run(sizes: list[int]) -> list[dict]:
@@ -49,13 +39,6 @@ def run(sizes: list[int]) -> list[dict]:
         "eigenfunction solver",
         "results": results,
     }
-    # only reference {16, 32} runs touch the tracked artefacts (repo root and
-    # benchmarks/results/); env-overridden smoke runs write *_smoke siblings
-    # so they can never clobber a committed reference record
-    reference_run = "REPRO_BENCH_NSIDE" not in os.environ
-    json_name = "BENCH_batched" if reference_run else "BENCH_batched_smoke"
-    write_json(json_name, payload, root_copy=reference_run)
-
     lines = [
         "Batched multi-RHS extraction vs sequential dense extraction",
         f"{'n_side':>6s} {'contacts':>8s} {'panels':>6s} {'sequential':>11s} "
@@ -67,34 +50,37 @@ def run(sizes: list[int]) -> list[dict]:
             f"{r['sequential_s']:>10.2f}s {r['batched_s']:>8.2f}s "
             f"{r['speedup']:>7.1f}x {r['max_abs_diff_rel']:>12.2e}"
         )
-    write_result(
-        "bench_batched_extraction" if reference_run else "bench_batched_extraction_smoke",
-        lines,
-    )
+    emit_benchmark("BENCH_batched", payload, "bench_batched_extraction", lines)
     return results
 
 
 def test_bench_batched_extraction():
-    results = run(default_sizes())
-    for r in results:
-        # the two paths must extract the same conductance matrix
-        assert r["max_abs_diff_rel"] < 1e-6
-        # the batched engine must pay off at the reference scale; other sizes
-        # (tiny smoke grids, the memory-bound n_side=32) are exercised for
-        # plumbing and correctness only
-        if r["n_side"] == 16:
-            assert r["speedup"] >= 3.0
+    # the two paths must extract the same conductance matrix, and the batched
+    # engine must pay off at the reference scale; other sizes (tiny smoke
+    # grids, the memory-bound n_side=32) are exercised for plumbing and
+    # correctness only
+    for result in run(default_sizes()):
+        failures = check(result)
+        assert not failures, "; ".join(failures)
+
+
+def check(result: dict) -> list[str]:
+    """Gate one size's result; returns a list of failure messages."""
+    failures = []
+    if result["max_abs_diff_rel"] >= 1e-6:
+        failures.append(
+            f"batched extraction disagrees with sequential "
+            f"({result['max_abs_diff_rel']:.2e} rel) at n_side={result['n_side']}"
+        )
+    if result["n_side"] == 16 and result["speedup"] < 3.0:
+        failures.append(
+            f"batched extraction speedup {result['speedup']:.2f}x < 3x "
+            f"at n_side={result['n_side']}"
+        )
+    return failures
 
 
 if __name__ == "__main__":
-    for result in run(default_sizes()):
-        if result["max_abs_diff_rel"] >= 1e-6:
-            raise SystemExit(
-                f"batched extraction disagrees with sequential "
-                f"({result['max_abs_diff_rel']:.2e} rel) at n_side={result['n_side']}"
-            )
-        if result["n_side"] == 16 and result["speedup"] < 3.0:
-            raise SystemExit(
-                f"batched extraction speedup {result['speedup']:.2f}x < 3x "
-                f"at n_side={result['n_side']}"
-            )
+    from common import gate_main
+
+    gate_main(run(default_sizes()), check)

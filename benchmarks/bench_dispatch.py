@@ -23,32 +23,22 @@ or through pytest like the other benchmarks.
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
 # usable both as a pytest module (benchmarks/conftest.py handles common) and
 # as a standalone script for the CI smoke run
 sys.path.insert(0, str(Path(__file__).parent))
-_SRC = Path(__file__).parent.parent / "src"
-if str(_SRC) not in sys.path:
-    sys.path.insert(0, str(_SRC))
+
+from common import default_sizes, emit_benchmark, ensure_repro_importable, gate_main
+
+ensure_repro_importable()
 
 from repro.experiments import run_dispatch_experiment
-
-from common import write_json, write_result
 
 #: generous allowance for shared-box scheduler noise on the "adaptive is never
 #: slower than the worse fixed path" gate
 NOISE_MARGIN = 1.25
-
-
-def default_sizes() -> list[int]:
-    """n_side values to benchmark: env override or the paper pair {16, 32}."""
-    env = os.environ.get("REPRO_BENCH_NSIDE")
-    if env:
-        return [int(env)]
-    return [16, 32]
 
 
 def run(sizes: list[int]) -> list[dict]:
@@ -65,13 +55,6 @@ def run(sizes: list[int]) -> list[dict]:
         "floating backplanes",
         "results": results,
     }
-    # only reference {16, 32} runs touch the tracked artefacts (repo root and
-    # benchmarks/results/); env-overridden smoke runs write *_smoke siblings
-    # so they can never clobber a committed reference record
-    reference_run = "REPRO_BENCH_NSIDE" not in os.environ
-    json_name = "BENCH_dispatch" if reference_run else "BENCH_dispatch_smoke"
-    write_json(json_name, payload, root_copy=reference_run)
-
     lines = [
         "Adaptive dispatch vs fixed direct/iterative paths (dense extraction)",
         f"{'n_side':>6s} {'backplane':>9s} {'iterative':>10s} {'direct':>8s} "
@@ -87,7 +70,7 @@ def run(sizes: list[int]) -> list[dict]:
                 f"{b['speedup_adaptive_vs_iterative']:>7.1f}x "
                 f"{b['max_abs_diff_rel']:>12.2e}"
             )
-    write_result("bench_dispatch" if reference_run else "bench_dispatch_smoke", lines)
+    emit_benchmark("BENCH_dispatch", payload, "bench_dispatch", lines)
     return results
 
 
@@ -132,8 +115,4 @@ def test_bench_dispatch():
 
 
 if __name__ == "__main__":
-    all_failures: list[str] = []
-    for result in run(default_sizes()):
-        all_failures.extend(check(result))
-    if all_failures:
-        raise SystemExit("\n".join(all_failures))
+    gate_main(run(default_sizes()), check)

@@ -23,15 +23,23 @@ from .substrate import (
     DenseMatrixSolver,
     DispatchDecision,
     DispatchPolicy,
+    FactorCache,
     Layer,
+    ParallelExtractor,
     SolveCostModel,
     SolveStats,
+    SolverSpec,
     SubstrateProfile,
     SubstrateSolver,
     check_conductance_properties,
     extract_columns,
     extract_dense,
+    factor_cache,
+    factor_cache_clear,
+    factor_cache_info,
     resolve_fft_workers,
+    set_factor_cache_budget,
+    solve_in_subprocess,
 )
 from .substrate.bem import EigenfunctionSolver
 from .substrate.fd import FiniteDifferenceSolver
@@ -63,5 +71,13 @@ __all__ = [
     "extract_dense",
     "extract_columns",
     "check_conductance_properties",
+    "FactorCache",
+    "factor_cache",
+    "factor_cache_clear",
+    "factor_cache_info",
+    "set_factor_cache_budget",
+    "ParallelExtractor",
+    "SolverSpec",
+    "solve_in_subprocess",
     "__version__",
 ]

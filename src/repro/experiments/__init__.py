@@ -7,6 +7,7 @@ from .runner import (
     run_dispatch_experiment,
     run_lowrank_experiment,
     run_method_comparison,
+    run_parallel_extraction_experiment,
     run_preconditioner_table,
     run_solver_speed_table,
     run_wavelet_experiment,
@@ -26,5 +27,6 @@ __all__ = [
     "run_solver_speed_table",
     "run_batched_extraction_experiment",
     "run_dispatch_experiment",
+    "run_parallel_extraction_experiment",
     "singular_value_decay_experiment",
 ]

@@ -30,8 +30,7 @@ from ..geometry import (
     regular_grid,
 )
 from ..substrate import SubstrateProfile
-from ..substrate.bem import EigenfunctionSolver
-from ..substrate.fd import FiniteDifferenceSolver
+from ..substrate.parallel import SolverSpec
 from ..substrate.solver_base import SubstrateSolver
 
 __all__ = ["ExampleConfig", "paper_examples", "chapter4_examples", "get_example"]
@@ -76,16 +75,33 @@ class ExampleConfig:
         return SquareHierarchy(layout, max_level=self.max_level)
 
     def build_solver(self, layout: ContactLayout) -> SubstrateSolver:
+        # one source of truth for the per-kind constructor arguments: the
+        # serial solver is the spec's solver, so the parallel worker path can
+        # never drift from what build_solver would have produced
+        return self.build_spec(layout).build()
+
+    def build_spec(self, layout: ContactLayout | None = None, **overrides) -> SolverSpec:
+        """Picklable :class:`~repro.substrate.parallel.SolverSpec` of this workload.
+
+        The spec rebuilds a solver equivalent to :meth:`build_solver` in any
+        process (the layout factory itself is usually a lambda, so the spec
+        captures the *built* layout instead).  ``overrides`` are stored into
+        the spec's constructor options (e.g. ``fft_workers=1``).
+        """
+        layout = self.build_layout() if layout is None else layout
         profile = self.build_profile(layout.size_x)
         if self.solver == "bem":
-            return EigenfunctionSolver(layout, profile, max_panels=self.max_panels)
+            return SolverSpec.bem(
+                layout, profile, max_panels=self.max_panels, **overrides
+            )
         if self.solver == "fd":
-            return FiniteDifferenceSolver(
+            return SolverSpec.fd(
                 layout,
                 profile,
                 nx=self.fd_resolution[0],
                 ny=self.fd_resolution[1],
-                planes_per_layer=self.fd_planes_per_layer,
+                planes_per_layer=tuple(self.fd_planes_per_layer),
+                **overrides,
             )
         raise ValueError(f"unknown solver kind {self.solver!r}")
 

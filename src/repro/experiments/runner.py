@@ -36,6 +36,7 @@ __all__ = [
     "run_solver_speed_table",
     "run_batched_extraction_experiment",
     "run_dispatch_experiment",
+    "run_parallel_extraction_experiment",
     "singular_value_decay_experiment",
 ]
 
@@ -290,12 +291,14 @@ def run_batched_extraction_experiment(
     Times the naive one-``solve_currents``-per-contact extraction against the
     same extraction submitted as a single ``solve_many`` block, and records
     the agreement between the two ``G`` matrices.  Each measurement is
-    repeated ``repeats`` times on a freshly constructed solver, so no
-    solver-level cache (Cholesky factor, work buffers) survives between
-    repetitions, and the minimum is reported, which suppresses scheduler
-    noise.  Solver construction itself — including the module-level
-    eigenvalue-table memoisation — stays outside the timed region for both
-    paths.  This is the experiment behind ``BENCH_batched.json``.
+    repeated ``repeats`` times on a freshly constructed solver with the
+    process-wide factor cache disabled, so no solver-level or process-level
+    cache (Cholesky factor, work buffers) survives between repetitions, and
+    the minimum is reported, which suppresses scheduler noise.  Solver
+    construction itself — including the eigenvalue-table memoisation — stays
+    outside the timed region for both paths.  This is the experiment behind
+    ``BENCH_batched.json``; warm-cache behaviour is measured separately by
+    :func:`run_parallel_extraction_experiment`.
     """
     from ..geometry.layouts import regular_grid
     from ..substrate.bem.solver import EigenfunctionSolver
@@ -314,6 +317,7 @@ def run_batched_extraction_experiment(
             rtol=rtol,
             dispatch=DispatchPolicy(force_path=force_path),
             fft_workers=fft_workers,
+            use_factor_cache=False,
         )
 
     t_seq = np.inf
@@ -374,7 +378,8 @@ def run_dispatch_experiment(
     adaptive.  Run for a grounded backplane (stacked-RHS CG vs. cached dense
     Cholesky) and a floating one (block MINRES vs. the bordered
     Schur-complement factorisation).  Every measurement uses a freshly built
-    solver so no factor or work buffer survives between repetitions; the
+    solver with the process-wide factor cache disabled, so no factor or work
+    buffer survives between repetitions; the
     minimum over ``repeats`` is reported.  This is the experiment behind
     ``BENCH_dispatch.json``: the adaptive policy must never be slower than
     the worse fixed path, and the three extracted ``G`` matrices must agree.
@@ -404,6 +409,7 @@ def run_dispatch_experiment(
                 rtol=rtol,
                 dispatch=DispatchPolicy(force_path=force_path),
                 fft_workers=fft_workers,
+                use_factor_cache=False,
             )
             start = time.perf_counter()
             g = extract_dense(solver)
@@ -443,6 +449,162 @@ def run_dispatch_experiment(
             "n_iterative_solves_adaptive": int(s_adaptive.stats.n_iterative_solves),
         }
     return out
+
+
+def run_parallel_extraction_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    repeats: int = 3,
+    workers: tuple[int, ...] = (2,),
+    backends: tuple[str, ...] = ("bem", "fd"),
+    backplanes: tuple[str, ...] = ("grounded", "floating"),
+) -> list[dict]:
+    """Serial versus process-parallel dense extraction, plus cache timings.
+
+    For each ``(backend, backplane)`` combination this times full dense
+    extraction on the serial adaptive path and on a
+    :class:`~repro.substrate.parallel.ParallelExtractor` with each requested
+    worker count.  The comparison isolates *solve* parallelism: the direct
+    factor is prepared before the timed region on both sides (workers warm
+    theirs during untimed pool start-up via ``prepare_direct``), and the
+    factor cost itself is reported separately as ``cold_factor_s`` (fresh
+    process-wide cache) versus ``warm_factor_s`` (second solver over the same
+    substrate — the cross-solver cache hit).  Both extractions run through a
+    :class:`~repro.substrate.solver_base.CountingSolver` so the records pin
+    that parallel attribution equals serial attribution, and the extractor's
+    merged per-process :class:`~repro.substrate.solver_base.SolveStats` are
+    included.  This is the experiment behind ``BENCH_parallel.json``.
+    """
+    import os
+
+    from ..geometry.layouts import regular_grid
+    from ..substrate.bem.solver import BEM_FACTOR_KIND
+    from ..substrate.factor_cache import factor_cache, factor_cache_clear
+    from ..substrate.fd.direct import FD_FACTOR_KIND
+    from ..substrate.parallel import ParallelExtractor, SolverSpec
+    from ..substrate.profile import SubstrateProfile
+    from ..substrate.solver_base import SolveStats
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profiles = {
+        "grounded": SubstrateProfile.two_layer_example(size=size, resistive_bottom=True),
+        "floating": SubstrateProfile.two_layer_example(size=size, grounded_backplane=False),
+    }
+    fd_resolution = max(16, 2 * n_side)
+
+    def build_spec(backend: str, profile: SubstrateProfile) -> SolverSpec:
+        if backend == "bem":
+            return SolverSpec.bem(
+                layout, profile, max_panels=max_panels, rtol=rtol
+            )
+        return SolverSpec.fd(
+            layout,
+            profile,
+            nx=fd_resolution,
+            ny=fd_resolution,
+            planes_per_layer=3,
+            rtol=rtol,
+        )
+
+    def clear_factor_kinds() -> None:
+        factor_cache_clear(BEM_FACTOR_KIND)
+        factor_cache_clear(FD_FACTOR_KIND)
+
+    results: list[dict] = []
+    for backend in backends:
+        for backplane in backplanes:
+            spec = build_spec(backend, profiles[backplane])
+
+            # --- cross-solver factor cache: cold build vs warm load --------
+            cache_before = factor_cache().cache_info()
+            clear_factor_kinds()
+            cold_solver = spec.build()
+            start = time.perf_counter()
+            factorable = cold_solver.prepare_direct()
+            cold_factor_s = time.perf_counter() - start
+            warm_solver = spec.build()
+            start = time.perf_counter()
+            warm_solver.prepare_direct()
+            warm_factor_s = time.perf_counter() - start
+
+            # --- serial adaptive path (factor prepared, solves timed) ------
+            t_serial = np.inf
+            g_serial = None
+            serial_counting = None
+            for _ in range(max(1, repeats)):
+                solver = spec.build()
+                solver.prepare_direct()
+                serial_counting = CountingSolver(solver)
+                start = time.perf_counter()
+                g_serial = extract_dense(serial_counting)
+                t_serial = min(t_serial, time.perf_counter() - start)
+            scale = float(np.abs(g_serial).max())
+
+            record: dict = {
+                "backend": backend,
+                "backplane": backplane,
+                "n_side": int(n_side),
+                "n_contacts": int(layout.n_contacts),
+                "repeats": int(max(1, repeats)),
+                "serial_s": float(t_serial),
+                "serial_solves": int(serial_counting.solve_count),
+                "serial_stats": serial_counting.inner.stats.as_dict(),
+                "factorable": bool(factorable),
+                "cold_factor_s": float(cold_factor_s),
+                "warm_factor_s": float(warm_factor_s),
+                "factor_warm_speedup": float(cold_factor_s / max(warm_factor_s, 1e-9)),
+                "parallel": [],
+            }
+
+            # --- parallel extraction per worker count ----------------------
+            for n_workers in workers:
+                with ParallelExtractor(
+                    spec, n_workers=int(n_workers), prepare_direct=True
+                ) as extractor:
+                    start = time.perf_counter()
+                    extractor.warm_up()
+                    setup_s = time.perf_counter() - start
+                    counting = CountingSolver(extractor)
+                    t_parallel = np.inf
+                    g_parallel = None
+                    for _ in range(max(1, repeats)):
+                        counting.reset()
+                        extractor.stats = SolveStats()
+                        start = time.perf_counter()
+                        g_parallel = extract_dense(counting)
+                        t_parallel = min(t_parallel, time.perf_counter() - start)
+                    record["parallel"].append(
+                        {
+                            "workers": int(n_workers),
+                            "setup_s": float(setup_s),
+                            "parallel_s": float(t_parallel),
+                            "speedup_vs_serial": float(t_serial / t_parallel),
+                            "max_abs_diff_rel": float(
+                                np.abs(g_parallel - g_serial).max() / scale
+                            ),
+                            "parallel_solves": int(counting.solve_count),
+                            "merged_stats": extractor.stats.as_dict(),
+                        }
+                    )
+            # per-record counter deltas: the process-wide counters are
+            # cumulative, so attribute only this combination's traffic
+            cache_after = factor_cache().cache_info()
+            record["factor_cache"] = {
+                key: cache_after[key] - cache_before[key]
+                for key in ("hits", "misses", "evictions")
+            }
+            record["factor_cache"].update(
+                entries=cache_after["entries"], bytes=cache_after["bytes"]
+            )
+            results.append(record)
+    # a benchmark record should also state the hardware context it ran on
+    results_meta = {"cpu_count": int(os.cpu_count() or 1)}
+    for record in results:
+        record.update(results_meta)
+    return results
 
 
 def singular_value_decay_experiment(

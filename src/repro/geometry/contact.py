@@ -187,6 +187,26 @@ class ContactLayout:
         return tuple(self._contacts)
 
     @property
+    def fingerprint(self) -> tuple:
+        """Hashable identity of the layout geometry.
+
+        Two layouts with equal fingerprints induce identical solver
+        discretisations (panel grids, FD contact footprints), so the
+        fingerprint keys the process-wide
+        :mod:`~repro.substrate.factor_cache`.  Contact names are excluded —
+        they do not affect the physics.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = (
+                self.size_x,
+                self.size_y,
+                tuple((c.x, c.y, c.width, c.height) for c in self._contacts),
+            )
+            self._fingerprint = cached
+        return cached
+
+    @property
     def n_contacts(self) -> int:
         """Number of contacts ``n`` (the dimension of ``G``)."""
         return len(self._contacts)

@@ -11,6 +11,14 @@ from .extraction import (
     extract_columns,
     extract_dense,
 )
+from .factor_cache import (
+    FactorCache,
+    factor_cache,
+    factor_cache_clear,
+    factor_cache_info,
+    set_factor_cache_budget,
+)
+from .parallel import ParallelExtractor, SolverSpec, solve_in_subprocess
 from .profile import Layer, SubstrateProfile
 from .solver_base import (
     CallableSolver,
@@ -35,4 +43,12 @@ __all__ = [
     "extract_dense",
     "extract_columns",
     "check_conductance_properties",
+    "FactorCache",
+    "factor_cache",
+    "factor_cache_clear",
+    "factor_cache_info",
+    "set_factor_cache_budget",
+    "ParallelExtractor",
+    "SolverSpec",
+    "solve_in_subprocess",
 ]

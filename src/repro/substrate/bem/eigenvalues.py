@@ -32,10 +32,9 @@ tests for moderate ``gamma * d`` where it does not overflow.
 
 from __future__ import annotations
 
-from collections import OrderedDict
-
 import numpy as np
 
+from ..factor_cache import factor_cache
 from ..profile import SubstrateProfile
 
 __all__ = [
@@ -91,17 +90,21 @@ def mode_eigenvalue(gamma: float, profile: SubstrateProfile) -> float:
     return float(1.0 / y)
 
 
-#: module-level LRU cache of eigenvalue tables, keyed on the physical profile
-#: and the mode counts.  Experiments rebuild solvers for the same substrate
-#: over and over (every table row, every benchmark repetition); the table is
+#: eigenvalue tables are memoised in the process-wide factor cache
+#: (:mod:`repro.substrate.factor_cache`), keyed on the physical profile and
+#: the mode counts.  Experiments rebuild solvers for the same substrate over
+#: and over (every table row, every benchmark repetition); the table is a
 #: pure function of ``(profile, n_modes)`` so recomputation is pure waste.
-_TABLE_CACHE: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+#: The historical entry-count bound of 32 is kept as a per-kind cap on top of
+#: the cache's byte budget.
+_TABLE_KIND = "eigenvalue_table"
 _TABLE_CACHE_MAX = 32
+factor_cache().set_kind_limit(_TABLE_KIND, _TABLE_CACHE_MAX)
 
 
 def eigenvalue_table_cache_clear() -> None:
     """Drop all memoised eigenvalue tables (tests / memory pressure)."""
-    _TABLE_CACHE.clear()
+    factor_cache().clear(_TABLE_KIND)
 
 
 def eigenvalue_table_cache_info() -> dict[str, int]:
@@ -110,7 +113,7 @@ def eigenvalue_table_cache_info() -> dict[str, int]:
     ``size`` can never exceed ``max_size``: every insertion evicts the
     least-recently-used entries down to the bound (pinned by the cache tests).
     """
-    return {"size": len(_TABLE_CACHE), "max_size": _TABLE_CACHE_MAX}
+    return {"size": factor_cache().count(_TABLE_KIND), "max_size": _TABLE_CACHE_MAX}
 
 
 def eigenvalue_table(
@@ -122,13 +125,13 @@ def eigenvalue_table(
     excluded from the operator; see :mod:`repro.substrate.bem.operator`).
 
     Results are memoised per ``(n_modes_x, n_modes_y, profile.cache_key)`` in
-    a small module-level LRU; the returned array is marked read-only because
-    it is shared between callers.
+    the process-wide factor cache; the returned array is marked read-only
+    because it is shared between callers.
     """
-    key = (int(n_modes_x), int(n_modes_y), profile.cache_key)
-    cached = _TABLE_CACHE.get(key)
+    cache = factor_cache()
+    key = (_TABLE_KIND, int(n_modes_x), int(n_modes_y), profile.cache_key)
+    cached = cache.get(key)
     if cached is not None:
-        _TABLE_CACHE.move_to_end(key)
         return cached
     a, b = profile.size_x, profile.size_y
     m = np.arange(n_modes_x)
@@ -140,10 +143,7 @@ def eigenvalue_table(
             lam = mode_eigenvalue(float(gamma[i, j]), profile)
             table[i, j] = 0.0 if np.isinf(lam) else lam
     table.setflags(write=False)
-    _TABLE_CACHE[key] = table
-    while len(_TABLE_CACHE) > _TABLE_CACHE_MAX:
-        _TABLE_CACHE.popitem(last=False)
-    return table
+    return cache.put(key, table)
 
 
 def eigenvalue_coefficient_recursion(

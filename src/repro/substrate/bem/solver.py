@@ -37,9 +37,13 @@ from scipy.sparse.linalg import LinearOperator, cg, minres
 from ...geometry.contact import ContactLayout
 from ...geometry.panels import PanelGrid
 from ..dispatch import DispatchDecision, DispatchPolicy
+from ..factor_cache import factor_cache
 from ..profile import SubstrateProfile
 from ..solver_base import SolveStats, SubstrateSolver
 from .operator import SurfaceOperator
+
+#: factor-cache kind string of the dense contact-block factorisations
+BEM_FACTOR_KIND = "bem_direct_factor"
 
 __all__ = ["EigenfunctionSolver"]
 
@@ -162,6 +166,12 @@ class EigenfunctionSolver(SubstrateSolver):
         resolved through
         :func:`~repro.substrate.dispatch.resolve_fft_workers` (default: all
         CPUs when the host has more than one).
+    use_factor_cache:
+        Consult (and populate) the process-wide
+        :mod:`~repro.substrate.factor_cache` for the dense contact-block
+        factorisation, so a second solver over the same
+        ``(layout, profile, grid)`` pays ~zero factor cost.  Disable to force
+        a private factorisation (benchmarking cold paths).
     """
 
     def __init__(
@@ -176,6 +186,7 @@ class EigenfunctionSolver(SubstrateSolver):
         max_direct_panels: int = 4096,
         dispatch: DispatchPolicy | None = None,
         fft_workers: int | None = None,
+        use_factor_cache: bool = True,
     ) -> None:
         self.layout = layout
         self.profile = profile
@@ -205,6 +216,15 @@ class EigenfunctionSolver(SubstrateSolver):
         #: ("schur", factor, w, s) or ("bordered", lu, piv) for floating ones
         self._direct_factor: tuple | None = None
         self._direct_failed = False
+        self.use_factor_cache = bool(use_factor_cache)
+        #: process-wide factor-cache key of this solver's direct factorisation
+        self._factor_cache_key = (
+            BEM_FACTOR_KIND,
+            layout.fingerprint,
+            profile.cache_key,
+            self.grid.nx,
+            self.grid.ny,
+        )
         self._incidence: sparse.csr_matrix | None = None
         self._jacobi = self.operator.contact_block_diagonal()
         if np.any(self._jacobi <= 0):
@@ -307,7 +327,7 @@ class EigenfunctionSolver(SubstrateSolver):
             n_rhs=v.shape[1],
             grid_points=self.grid.n_panels,
             grounded=self.profile.grounded_backplane,
-            factor_cached=self._direct_factor is not None,
+            factor_cached=self._factor_available(),
             factor_failed=self._direct_failed,
         )
         self.last_dispatch = decision
@@ -338,6 +358,31 @@ class EigenfunctionSolver(SubstrateSolver):
         return out
 
     # -------------------------------------------------------------- direct path
+    def _factor_available(self) -> bool:
+        """A direct factor is held, or sits warm in the process-wide cache."""
+        return self._direct_factor is not None or (
+            self.use_factor_cache and factor_cache().contains(self._factor_cache_key)
+        )
+
+    def prepare_direct(self) -> bool:
+        """Build (or load from the factor cache) the direct factor now.
+
+        Returns True when a factor is held afterwards; False when the direct
+        path is unavailable (panel ceiling, or a failed factorisation, which
+        is also remembered so dispatch never retries it).  Used to warm
+        worker processes before timed parallel extraction.
+        """
+        if self._direct_failed:
+            return False
+        if not 0 < self.grid.n_contact_panels <= self.dispatch.max_direct_panels:
+            return False
+        try:
+            self._ensure_direct_factor()
+        except LinAlgError:
+            self._direct_failed = True
+            return False
+        return True
+
     def _ensure_direct_factor(self) -> None:
         """Build (once) and factor the dense contact-panel system.
 
@@ -348,15 +393,26 @@ class EigenfunctionSolver(SubstrateSolver):
         by a current pattern supported on a strict panel subset) plus the
         solved border column ``w = A_cc^{-1} 1`` and pivot ``s = 1' w``.  If
         that Cholesky fails the full bordered matrix is LU-factored instead.
+
+        The finished factor is shared through the process-wide
+        :mod:`~repro.substrate.factor_cache` (unless ``use_factor_cache`` is
+        off), so sibling solvers over the same substrate skip the build.
         """
         if self._direct_factor is not None:
             return
+        if self.use_factor_cache:
+            cached = factor_cache().get(self._factor_cache_key)
+            if cached is not None:
+                self._direct_factor = cached
+                return
         a_cc = self.operator.contact_block_matrix(max_batch=self.max_batch)
         # the exact operator is symmetric; remove transform round-off before
         # factorising
         a_cc = 0.5 * (a_cc + a_cc.T)
         if self.profile.grounded_backplane:
-            self._direct_factor = ("chol", cho_factor(a_cc, lower=True, overwrite_a=True))
+            self._set_direct_factor(
+                ("chol", cho_factor(a_cc, lower=True, overwrite_a=True))
+            )
             return
         ncp = a_cc.shape[0]
         ones = np.ones(ncp)
@@ -366,7 +422,7 @@ class EigenfunctionSolver(SubstrateSolver):
             s = float(ones @ w)
             if not np.isfinite(s) or s <= 0.0:
                 raise LinAlgError("degenerate Schur complement")
-            self._direct_factor = ("schur", chol, w, s)
+            self._set_direct_factor(("schur", chol, w, s))
             return
         except LinAlgError:
             # contacts tiling the whole surface make A_cc singular (the gauge
@@ -379,7 +435,13 @@ class EigenfunctionSolver(SubstrateSolver):
             u_diag = np.abs(np.diag(lu))
             if u_diag.min() <= ncp * np.finfo(float).eps * u_diag.max():
                 raise LinAlgError("bordered saddle-point matrix is singular")
-            self._direct_factor = ("bordered", lu, piv)
+            self._set_direct_factor(("bordered", lu, piv))
+
+    def _set_direct_factor(self, factor: tuple) -> None:
+        """Hold the freshly built factor and share it through the cache."""
+        self._direct_factor = factor
+        if self.use_factor_cache:
+            factor_cache().put(self._factor_cache_key, factor)
 
     def _solve_many_direct(self, v: np.ndarray) -> np.ndarray | None:
         """Factor-once / solve-all path; returns None on factorisation failure.

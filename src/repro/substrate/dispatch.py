@@ -106,6 +106,17 @@ class SolveCostModel:
     iterations_grounded: float = 8.0
     #: expected block-MINRES iterations for a floating-backplane solve
     iterations_floating: float = 32.0
+    #: fill-in constant of a 3-D sparse LU: total factor nonzeros ~ c * n^(4/3)
+    #: (measured ~16.6 on the 32x32x8 grid-of-resistors system via ``splu``)
+    sparse_fill_unit: float = 16.0
+    #: factor-flop constant of the sparse LU: flops ~ c * n^2 (measured
+    #: against the triangular-solve throughput on the same systems)
+    sparse_factor_unit: float = 8.7
+    #: per-node work units of one FD PCG iteration over one RHS (sparse
+    #: matvec + block preconditioner apply + vector updates)
+    fd_iteration_units: float = 60.0
+    #: default expected FD PCG iterations when the caller has no estimate
+    iterations_fd: float = 16.0
 
     def _fft_apply_units(self, grid_points: int) -> float:
         return self.fft_flops_per_point * grid_points * max(np.log2(grid_points), 1.0)
@@ -141,6 +152,37 @@ class SolveCostModel:
         )
         return iters * n_rhs * per_column_iteration
 
+    def sparse_direct_cost(
+        self, n_nodes: int, n_rhs: int, factor_cached: bool
+    ) -> float:
+        """Estimated cost of serving the block through a sparse LU factor.
+
+        Two triangular sweeps over the fill per column, plus the one-time
+        factorisation when no factor is cached.  The exponents are the
+        standard 3-D nested-dissection bounds (fill ``O(n^{4/3})``, factor
+        flops ``O(n^2)``); the constants were calibrated against ``splu``
+        timings of the grid-of-resistors system.
+        """
+        fill = self.sparse_fill_unit * float(n_nodes) ** (4.0 / 3.0)
+        cost = 2.0 * fill * n_rhs
+        if not factor_cached:
+            cost += self.sparse_factor_unit * float(n_nodes) ** 2
+        return cost
+
+    def sparse_iterative_cost(
+        self, n_nodes: int, n_rhs: int, iterations: float | None = None
+    ) -> float:
+        """Estimated cost of the multi-RHS PCG path for an FD block.
+
+        Unlike the eigenfunction model, the expected iteration count varies
+        by two orders of magnitude with the preconditioner (the area-weighted
+        fast-Poisson preconditioner converges in ~1-2 iterations on laterally
+        uniform profiles; Jacobi needs >100), so callers pass their observed
+        or prior ``iterations``.
+        """
+        iters = self.iterations_fd if iterations is None else max(float(iterations), 1.0)
+        return iters * n_rhs * self.fd_iteration_units * n_nodes
+
 
 class DispatchPolicy:
     """Chooses the solve engine for each ``solve_many`` block.
@@ -163,6 +205,10 @@ class DispatchPolicy:
     min_direct_rhs:
         Never factor for blocks narrower than this when no factor is cached
         (guards the cost model against degenerate inputs).
+    max_direct_nodes:
+        Ceiling on FD grid nodes for which a sparse LU may be built
+        (:meth:`choose_sparse`); fill memory grows like ``n^(4/3)``, so very
+        fine grids must stay iterative.  ``0`` disables the FD direct path.
     """
 
     def __init__(
@@ -172,6 +218,7 @@ class DispatchPolicy:
         cost_model: SolveCostModel | None = None,
         auto_tune: bool = False,
         min_direct_rhs: int = 2,
+        max_direct_nodes: int = 200_000,
     ) -> None:
         if force_path is not None and force_path not in DISPATCH_PATHS:
             raise ValueError(
@@ -182,6 +229,7 @@ class DispatchPolicy:
         self.cost_model = cost_model if cost_model is not None else SolveCostModel()
         self.auto_tune = bool(auto_tune)
         self.min_direct_rhs = int(min_direct_rhs)
+        self.max_direct_nodes = int(max_direct_nodes)
         self._tuned = False
 
     # -------------------------------------------------------------- auto-tune
@@ -280,6 +328,61 @@ class DispatchPolicy:
             )
         return DispatchDecision(
             "iterative", "crossover model", direct_cost=direct, iterative_cost=iterative
+        )
+
+    def choose_sparse(
+        self,
+        n_nodes: int,
+        n_rhs: int,
+        factor_cached: bool = False,
+        factor_failed: bool = False,
+        expected_iterations: float | None = None,
+    ) -> DispatchDecision:
+        """Route one FD ``solve_many`` block (sparse LU vs. multi-RHS PCG).
+
+        Same contract as :meth:`choose`, but against the sparse cost model:
+        the caller passes its observed (or prior) PCG iteration count, since
+        the FD preconditioners span two orders of magnitude in convergence
+        speed and a fixed iteration constant would misroute the fast-Poisson
+        path.  The block-level decision amortises the one-time sparse
+        factorisation over the whole block width.
+        """
+        direct_possible = not factor_failed and 0 < n_nodes <= self.max_direct_nodes
+        if self.force_path is not None:
+            if self.force_path == "direct" and not direct_possible:
+                return DispatchDecision(
+                    "iterative",
+                    "forced direct path unavailable "
+                    + ("(factorisation failed)" if factor_failed else "(node ceiling)"),
+                )
+            return DispatchDecision(self.force_path, "forced")
+        if not direct_possible:
+            reason = (
+                "factorisation previously failed"
+                if factor_failed
+                else f"n_nodes {n_nodes} exceeds max_direct_nodes {self.max_direct_nodes}"
+            )
+            return DispatchDecision("iterative", reason)
+        if not factor_cached and n_rhs < self.min_direct_rhs:
+            return DispatchDecision(
+                "iterative", f"block narrower than min_direct_rhs {self.min_direct_rhs}"
+            )
+        direct = self.cost_model.sparse_direct_cost(n_nodes, n_rhs, factor_cached)
+        iterative = self.cost_model.sparse_iterative_cost(
+            n_nodes, n_rhs, expected_iterations
+        )
+        if direct <= iterative:
+            return DispatchDecision(
+                "direct",
+                "cached factor" if factor_cached else "sparse crossover model",
+                direct_cost=direct,
+                iterative_cost=iterative,
+            )
+        return DispatchDecision(
+            "iterative",
+            "sparse crossover model",
+            direct_cost=direct,
+            iterative_cost=iterative,
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper

@@ -79,6 +79,17 @@ def extract_columns(
     """
     columns = np.asarray(columns, dtype=int)
     n = solver.n_contacts
+    if symmetrize:
+        # validate before paying for any solves
+        unique, counts = np.unique(columns, return_counts=True)
+        duplicated = unique[counts > 1]
+        if duplicated.size:
+            raise ValueError(
+                "symmetrize requires extracting every column exactly once; "
+                f"columns requested more than once: {duplicated.tolist()}"
+            )
+        if columns.size != n or not np.array_equal(unique, np.arange(n)):
+            raise ValueError("symmetrize requires extracting every column exactly once")
     if block_size is None:
         block_size = columns.size
     block_size = max(int(block_size), 1)
@@ -88,8 +99,6 @@ def extract_columns(
         rhs = _unit_vector_block(n, columns[start:stop])
         out[:, start:stop] = solver.solve_many(rhs)
     if symmetrize:
-        if columns.size != n or not np.array_equal(np.sort(columns), np.arange(n)):
-            raise ValueError("symmetrize requires extracting every column exactly once")
         order = np.argsort(columns)
         full = out[:, order]
         full = 0.5 * (full + full.T)

@@ -1,0 +1,269 @@
+"""Process-wide factor/plan cache shared by every substrate solver.
+
+Extraction workloads build the *same* solver over and over: every benchmark
+repetition, every table row, every worker process reconstructs an
+:class:`~repro.substrate.bem.solver.EigenfunctionSolver` or
+:class:`~repro.substrate.fd.solver.FiniteDifferenceSolver` for an identical
+``(layout, profile, discretisation)`` and then re-derives the exact same
+expensive objects — eigenvalue tables, the dense ``A_cc`` Cholesky (or
+bordered/Schur) factor, the FD sparse LU of the interior Laplacian.  This
+module holds those objects in one memory-budgeted, process-wide LRU so a
+second solver over the same substrate pays ~zero factor cost.
+
+Keys are tuples whose first element is a *kind* string (``"eigenvalue_table"``,
+``"bem_direct_factor"``, ``"fd_direct_factor"``) followed by the identity of
+the physics and discretisation, typically
+``(ContactLayout.fingerprint, SubstrateProfile.cache_key, grid shape)``.
+Values are opaque to the cache; byte sizes are estimated from the numpy /
+scipy-sparse payloads (or passed explicitly) and the least-recently-used
+entries are evicted once the budget is exceeded.  Individual kinds can also
+carry an entry-count cap (the eigenvalue-table LRU keeps its historical bound
+of 32 entries).
+
+The cache is **per process**: worker processes of the parallel extraction
+engine (:mod:`repro.substrate.parallel`) each warm their own copy.  Factors
+cached here are shared between solver instances, so they are treated as
+read-only by all consumers.
+
+Environment knob: ``REPRO_FACTOR_CACHE_BYTES`` overrides the default budget
+(512 MiB) for the process-wide instance.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Callable, Hashable
+
+import numpy as np
+
+__all__ = [
+    "FactorCache",
+    "factor_cache",
+    "factor_cache_info",
+    "factor_cache_clear",
+    "set_factor_cache_budget",
+    "DEFAULT_BUDGET_BYTES",
+]
+
+DEFAULT_BUDGET_BYTES = 512 * 1024 * 1024
+
+
+def _estimate_nbytes(value: Any) -> int:
+    """Best-effort byte size of a cached value (arrays, factors, containers)."""
+    if isinstance(value, np.ndarray):
+        return int(value.nbytes)
+    if isinstance(value, (tuple, list)):
+        return sum(_estimate_nbytes(v) for v in value) + 64
+    if isinstance(value, dict):
+        return sum(_estimate_nbytes(v) for v in value.values()) + 64
+    data = getattr(value, "data", None)
+    if isinstance(data, np.ndarray):  # scipy sparse matrices
+        total = int(data.nbytes)
+        for attr in ("indices", "indptr", "row", "col"):
+            arr = getattr(value, attr, None)
+            if isinstance(arr, np.ndarray):
+                total += int(arr.nbytes)
+        return total
+    nnz = getattr(value, "nnz", None)
+    if isinstance(nnz, (int, np.integer)):  # e.g. a SuperLU factorisation
+        # one double plus one int32 index per stored entry
+        return int(nnz) * 12 + 64
+    return 64
+
+
+class FactorCache:
+    """Memory-budgeted LRU cache for solver factorisations and plans.
+
+    Parameters
+    ----------
+    max_bytes:
+        Total budget across all entries.  An entry larger than the whole
+        budget is returned to the caller but never stored (counted in
+        ``oversized``).
+    """
+
+    def __init__(self, max_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
+        self.max_bytes = int(max_bytes)
+        self._entries: "OrderedDict[Hashable, tuple[Any, int]]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self._kind_limits: dict[str, int] = {}
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.oversized = 0
+        self._kind_hits: dict[str, int] = {}
+        self._kind_misses: dict[str, int] = {}
+
+    # ------------------------------------------------------------------ config
+    def set_budget(self, max_bytes: int) -> None:
+        """Change the byte budget and evict down to it immediately."""
+        with self._lock:
+            self.max_bytes = int(max_bytes)
+            self._evict_to_budget()
+
+    def set_kind_limit(self, kind: str, max_entries: int) -> None:
+        """Cap the number of entries whose key starts with ``kind``."""
+        with self._lock:
+            self._kind_limits[kind] = int(max_entries)
+            self._evict_kind(kind)
+
+    @staticmethod
+    def _kind_of(key: Hashable) -> str:
+        if isinstance(key, tuple) and key and isinstance(key[0], str):
+            return key[0]
+        return ""
+
+    # ------------------------------------------------------------------ access
+    def get(self, key: Hashable, default: Any = None) -> Any:
+        """Look up ``key``, refreshing its recency; counts one hit or miss."""
+        kind = self._kind_of(key)
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
+                return default
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
+            return entry[0]
+
+    def contains(self, key: Hashable) -> bool:
+        """Pure membership probe: no counters, no recency update.
+
+        Used by dispatch policies to ask "would a factor be free?" without
+        skewing the hit/miss statistics reported in benchmark records.
+        """
+        with self._lock:
+            return key in self._entries
+
+    def put(self, key: Hashable, value: Any, nbytes: int | None = None) -> Any:
+        """Insert ``value`` under ``key`` (replacing any old entry) and return it."""
+        size = _estimate_nbytes(value) if nbytes is None else int(nbytes)
+        with self._lock:
+            if size > self.max_bytes:
+                self.oversized += 1
+                return value
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self._bytes -= old[1]
+            self._entries[key] = (value, size)
+            self._bytes += size
+            self._evict_to_budget()
+            self._evict_kind(self._kind_of(key))
+        return value
+
+    def get_or_build(
+        self, key: Hashable, builder: Callable[[], Any], nbytes: int | None = None
+    ) -> Any:
+        """Return the cached value, building and inserting it on a miss."""
+        found = object()
+        value = self.get(key, default=found)
+        if value is not found:
+            return value
+        return self.put(key, builder(), nbytes=nbytes)
+
+    # ---------------------------------------------------------------- eviction
+    def _evict_to_budget(self) -> None:
+        while self._bytes > self.max_bytes and self._entries:
+            _, (_, size) = self._entries.popitem(last=False)
+            self._bytes -= size
+            self.evictions += 1
+
+    def _evict_kind(self, kind: str) -> None:
+        limit = self._kind_limits.get(kind)
+        if limit is None:
+            return
+        while True:
+            of_kind = [k for k in self._entries if self._kind_of(k) == kind]
+            if len(of_kind) <= limit:
+                return
+            victim = of_kind[0]  # OrderedDict iterates LRU-first
+            _, size = self._entries.pop(victim)
+            self._bytes -= size
+            self.evictions += 1
+
+    # ------------------------------------------------------------- maintenance
+    def clear(self, kind: str | None = None) -> None:
+        """Drop all entries, or only those of one ``kind``; counters survive."""
+        with self._lock:
+            if kind is None:
+                self._entries.clear()
+                self._bytes = 0
+                return
+            for key in [k for k in self._entries if self._kind_of(k) == kind]:
+                _, size = self._entries.pop(key)
+                self._bytes -= size
+
+    def count(self, kind: str) -> int:
+        """Number of entries whose key starts with ``kind``."""
+        with self._lock:
+            return sum(1 for k in self._entries if self._kind_of(k) == kind)
+
+    def cache_info(self) -> dict:
+        """Snapshot of occupancy and hit/miss counters (benchmark records)."""
+        with self._lock:
+            by_kind: dict[str, dict[str, int]] = {}
+            for key, (_, size) in self._entries.items():
+                slot = by_kind.setdefault(
+                    self._kind_of(key), {"entries": 0, "bytes": 0}
+                )
+                slot["entries"] += 1
+                slot["bytes"] += size
+            for kind in set(self._kind_hits) | set(self._kind_misses):
+                slot = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
+                slot["hits"] = self._kind_hits.get(kind, 0)
+                slot["misses"] = self._kind_misses.get(kind, 0)
+            return {
+                "entries": len(self._entries),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+                "oversized": self.oversized,
+                "by_kind": by_kind,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"FactorCache(entries={len(self._entries)}, bytes={self._bytes}, "
+            f"max_bytes={self.max_bytes})"
+        )
+
+
+def _default_budget() -> int:
+    env = os.environ.get("REPRO_FACTOR_CACHE_BYTES")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return DEFAULT_BUDGET_BYTES
+
+
+#: the process-wide instance every solver consults before factoring
+_GLOBAL = FactorCache(max_bytes=_default_budget())
+
+
+def factor_cache() -> FactorCache:
+    """The process-wide :class:`FactorCache` instance."""
+    return _GLOBAL
+
+
+def factor_cache_info() -> dict:
+    """``cache_info()`` of the process-wide cache."""
+    return _GLOBAL.cache_info()
+
+
+def factor_cache_clear(kind: str | None = None) -> None:
+    """Clear the process-wide cache (optionally only one entry kind)."""
+    _GLOBAL.clear(kind)
+
+
+def set_factor_cache_budget(max_bytes: int) -> None:
+    """Change the process-wide cache budget, evicting down to it."""
+    _GLOBAL.set_budget(max_bytes)

@@ -1,0 +1,479 @@
+"""Process-parallel extraction engine.
+
+Extraction cost is dominated by repeated black-box solves over the same
+substrate (Sections 1.2 and 4 of the paper); PRs 1-2 amortised work *within*
+one solver process via batching and adaptive dispatch.  This module shards a
+``solve_many`` block's columns across a pool of worker **processes**, each of
+which rebuilds its solver once from a picklable :class:`SolverSpec` and then
+serves contiguous column shards.  Because every extraction path in the
+package (``extract_dense`` / ``extract_columns`` / the wavelet and low-rank
+sparsifiers) already submits its right-hand sides through
+``SubstrateSolver.solve_many``, the :class:`ParallelExtractor` simply *is* a
+:class:`~repro.substrate.solver_base.SubstrateSolver` — drop it in wherever a
+solver is expected and the whole extraction fans out.
+
+Design points:
+
+* **Attribution is unchanged.**  A block of ``k`` columns is charged as ``k``
+  black-box solves no matter how it is sharded; wrapping the extractor in a
+  :class:`~repro.substrate.solver_base.CountingSolver` reports exactly the
+  serial counts (pinned by tests), so the paper's solve-reduction metric is
+  invariant under parallelisation.
+* **Per-process statistics merge.**  Every task returns its worker's
+  :class:`~repro.substrate.solver_base.SolveStats` delta; the extractor folds
+  them into one report via :meth:`SolveStats.merge`.
+* **No thread oversubscription.**  Workers build their solver with
+  ``fft_workers=1`` — the parallelism budget is spent on processes, and the
+  stacked DCTs inside each worker must not spawn a second level of threads.
+* **Shared-memory result blocks.**  Result columns are written into one
+  ``multiprocessing.shared_memory`` block instead of being pickled back
+  (falling back to pickled returns where shared memory is unavailable).
+* **Per-process factor caches.**  Each worker owns its own process-wide
+  :mod:`~repro.substrate.factor_cache`; passing ``prepare_direct=True`` warms
+  each worker's direct factorisation during pool start-up so timed extraction
+  measures solves, not factoring.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Any
+
+import multiprocessing as mp
+import numpy as np
+
+from ..geometry.contact import ContactLayout
+from .profile import SubstrateProfile
+from .solver_base import SolveStats, SubstrateSolver
+
+__all__ = ["SolverSpec", "ParallelExtractor", "solve_in_subprocess"]
+
+#: solver kinds a spec can describe
+SPEC_KINDS = ("bem", "fd", "dense")
+
+
+@dataclass(frozen=True)
+class SolverSpec:
+    """Picklable recipe for rebuilding a substrate solver in another process.
+
+    Parameters
+    ----------
+    kind:
+        ``"bem"`` (:class:`~repro.substrate.bem.solver.EigenfunctionSolver`),
+        ``"fd"`` (:class:`~repro.substrate.fd.solver.FiniteDifferenceSolver`)
+        or ``"dense"`` (:class:`~repro.substrate.solver_base.DenseMatrixSolver`
+        around ``options["matrix"]``).
+    layout:
+        The contact layout (plain data, pickles by value).
+    profile:
+        The substrate profile (``None`` for ``"dense"``).
+    options:
+        Keyword arguments forwarded to the solver constructor.  Keep these to
+        plain picklable values; live objects (dispatch policies, operators)
+        are rebuilt by the constructor in the target process.
+    """
+
+    kind: str
+    layout: ContactLayout
+    profile: SubstrateProfile | None = None
+    options: dict[str, Any] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.kind not in SPEC_KINDS:
+            raise ValueError(f"kind must be one of {SPEC_KINDS}, got {self.kind!r}")
+        if self.kind != "dense" and self.profile is None:
+            raise ValueError(f"kind {self.kind!r} requires a substrate profile")
+        if self.kind == "dense" and "matrix" not in self.options:
+            raise ValueError('kind "dense" requires options["matrix"]')
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def bem(
+        cls, layout: ContactLayout, profile: SubstrateProfile, **options: Any
+    ) -> "SolverSpec":
+        return cls("bem", layout, profile, options)
+
+    @classmethod
+    def fd(
+        cls, layout: ContactLayout, profile: SubstrateProfile, **options: Any
+    ) -> "SolverSpec":
+        return cls("fd", layout, profile, options)
+
+    @classmethod
+    def dense(cls, matrix: np.ndarray, layout: ContactLayout) -> "SolverSpec":
+        return cls("dense", layout, None, {"matrix": np.asarray(matrix, dtype=float)})
+
+    # ------------------------------------------------------------------- build
+    def build(self, **overrides: Any) -> SubstrateSolver:
+        """Construct the solver this spec describes.
+
+        ``overrides`` take precedence over the stored ``options`` (the worker
+        pool uses this to pin ``fft_workers=1``); they are ignored for the
+        ``"dense"`` kind, which has no tuning knobs.
+        """
+        if self.kind == "dense":
+            from .solver_base import DenseMatrixSolver
+
+            return DenseMatrixSolver(self.options["matrix"], self.layout)
+        opts = {**self.options, **overrides}
+        if self.kind == "bem":
+            from .bem.solver import EigenfunctionSolver
+
+            return EigenfunctionSolver(self.layout, self.profile, **opts)
+        from .fd.solver import FiniteDifferenceSolver
+
+        return FiniteDifferenceSolver(self.layout, self.profile, **opts)
+
+
+# --------------------------------------------------------------------- workers
+#: the worker process's solver, built once per process by the pool initializer
+_WORKER_SOLVER: SubstrateSolver | None = None
+#: True when this worker must untrack shared-memory segments it attaches to
+#: (spawn/forkserver start a private resource tracker per worker; fork
+#: inherits the parent's, which owns the segment's registration)
+_WORKER_UNREGISTER_SHM = False
+
+
+def _init_worker(
+    spec: SolverSpec, overrides: dict, prepare_direct: bool, unregister_shm: bool
+) -> None:
+    global _WORKER_SOLVER, _WORKER_UNREGISTER_SHM
+    _WORKER_SOLVER = spec.build(**overrides)
+    _WORKER_UNREGISTER_SHM = unregister_shm
+    if prepare_direct:
+        prepare = getattr(_WORKER_SOLVER, "prepare_direct", None)
+        if prepare is not None:
+            prepare()
+
+
+def _solve_with_stats_delta(
+    solver: SubstrateSolver, v: np.ndarray
+) -> tuple[np.ndarray, SolveStats]:
+    """Solve a block and return the solve's :class:`SolveStats` delta.
+
+    The solver's cumulative ``stats`` keep growing — iteration-aware dispatch
+    (the FD solver's ``_expected_iterations``) feeds on the observed history,
+    so it must survive across blocks — and the delta for this block alone is
+    reconstructed from before/after counter snapshots.
+    """
+    stats = getattr(solver, "stats", None)
+    if stats is None:
+        stats = SolveStats()
+        solver.stats = stats
+    snap = (
+        stats.n_iterative_solves,
+        stats.n_direct_solves,
+        stats.total_iterations,
+        len(stats.iterations_per_solve),
+    )
+    out = solver.solve_many(v)
+    stats = solver.stats
+    delta = SolveStats(
+        n_iterative_solves=stats.n_iterative_solves - snap[0],
+        n_direct_solves=stats.n_direct_solves - snap[1],
+        total_iterations=stats.total_iterations - snap[2],
+        iterations_per_solve=list(stats.iterations_per_solve[snap[3]:]),
+    )
+    return out, delta
+
+
+def _solve_shard(
+    v_shard: np.ndarray, start: int, shm_name: str | None, shape: tuple[int, int]
+):
+    """Solve one contiguous column shard on the worker's persistent solver.
+
+    Returns ``(start, width, result-or-None, stats delta, gauge constants)``;
+    the result travels through the named shared-memory block when one is
+    given, otherwise it is pickled back.
+    """
+    solver = _WORKER_SOLVER
+    out, delta = _solve_with_stats_delta(solver, v_shard)
+    gauges = getattr(solver, "last_gauge_constants", None)
+    width = v_shard.shape[1]
+    if shm_name is not None:
+        from multiprocessing import shared_memory
+
+        shm = shared_memory.SharedMemory(name=shm_name)
+        try:
+            block = np.ndarray(shape, dtype=np.float64, buffer=shm.buf)
+            block[:, start : start + width] = out
+        finally:
+            shm.close()
+            if _WORKER_UNREGISTER_SHM:
+                try:
+                    # a spawned worker's private resource tracker must not
+                    # treat the parent-owned segment as leaked at exit;
+                    # Python < 3.13 lacks SharedMemory(track=False)
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.unregister(shm._name, "shared_memory")
+                except Exception:
+                    pass
+        return start, width, None, delta, gauges
+    return start, width, out, delta, gauges
+
+
+def solve_in_subprocess(
+    spec: SolverSpec, voltages: np.ndarray, **build_overrides: Any
+) -> np.ndarray:
+    """Round-trip helper: rebuild ``spec`` in one child process and solve there.
+
+    Spins up a single-worker pool, ships the spec through pickle, solves the
+    ``(n, k)`` block in the child and returns the result.  Used by the
+    spec round-trip tests and handy for isolating a solve from the parent's
+    process-wide caches.
+    """
+    ctx = _default_context()
+    with ProcessPoolExecutor(
+        max_workers=1,
+        mp_context=ctx,
+        initializer=_init_worker,
+        initargs=(spec, build_overrides, False, ctx.get_start_method() != "fork"),
+    ) as pool:
+        v = np.asarray(voltages, dtype=float)
+        _, _, out, _, _ = pool.submit(_solve_shard, v, 0, None, v.shape).result()
+    return out
+
+
+def _default_context() -> mp.context.BaseContext:
+    """Fork where available (cheap start-up, inherits imports), else spawn."""
+    methods = mp.get_all_start_methods()
+    return mp.get_context("fork" if "fork" in methods else "spawn")
+
+
+def _rendezvous(barrier) -> bool:
+    """Hold one worker at a barrier until every worker has arrived.
+
+    Each waiting worker occupies itself, so the pool cannot hand two
+    rendezvous tasks to the same worker — by the time the barrier releases,
+    every worker process has finished its (solver-building, possibly
+    factoring) initializer.
+    """
+    barrier.wait(timeout=600)
+    return True
+
+
+class ParallelExtractor(SubstrateSolver):
+    """Substrate solver that shards ``solve_many`` columns across processes.
+
+    Parameters
+    ----------
+    spec:
+        Recipe for the solver every worker builds once at pool start-up.
+    n_workers:
+        Worker-process count; default ``os.cpu_count()``.  With one worker
+        (or blocks too narrow to shard) the extractor solves inline on a
+        private solver — no pool, no IPC.
+    prepare_direct:
+        Warm each worker's direct factorisation (``prepare_direct()``) during
+        pool initialisation, so timed extraction measures solves only.
+    min_parallel_columns:
+        Blocks narrower than this are solved inline; sharding two columns
+        across processes costs more in IPC than it saves.
+    use_shared_memory:
+        Write result shards into one ``multiprocessing.shared_memory`` block
+        (automatic fallback to pickled returns when allocation fails).
+    start_method:
+        Override the multiprocessing start method (default: ``"fork"`` where
+        available, else ``"spawn"``).
+    """
+
+    def __init__(
+        self,
+        spec: SolverSpec,
+        n_workers: int | None = None,
+        prepare_direct: bool = False,
+        min_parallel_columns: int = 8,
+        use_shared_memory: bool = True,
+        start_method: str | None = None,
+    ) -> None:
+        self.spec = spec
+        self.layout = spec.layout
+        self.n_workers = int(n_workers) if n_workers is not None else (os.cpu_count() or 1)
+        if self.n_workers < 1:
+            raise ValueError("n_workers must be at least 1")
+        self.prepare_direct = bool(prepare_direct)
+        self.min_parallel_columns = int(min_parallel_columns)
+        self.use_shared_memory = bool(use_shared_memory)
+        self._context = (
+            mp.get_context(start_method) if start_method else _default_context()
+        )
+        #: merged per-process solve statistics of everything this extractor ran
+        self.stats = SolveStats()
+        #: gauge constants of the most recent floating-backplane block
+        self.last_gauge_constants: np.ndarray | None = None
+        self._pool: ProcessPoolExecutor | None = None
+        self._local: SubstrateSolver | None = None
+
+    # ---------------------------------------------------------------- plumbing
+    def _worker_overrides(self) -> dict[str, Any]:
+        # one process = one core: the stacked DCTs inside a worker must not
+        # spawn a second level of threads (oversubscription)
+        return {} if self.spec.kind == "dense" else {"fft_workers": 1}
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        if self._pool is None:
+            fork = self._context.get_start_method() == "fork"
+            if fork and self.use_shared_memory:
+                # forked workers inherit the parent's shared-memory resource
+                # tracker; make sure it exists *before* the fork so every
+                # worker shares it (segment registration then stays owned by
+                # the parent, which unlinks it)
+                try:
+                    from multiprocessing import resource_tracker
+
+                    resource_tracker.ensure_running()
+                except Exception:
+                    pass
+            self._pool = ProcessPoolExecutor(
+                max_workers=self.n_workers,
+                mp_context=self._context,
+                initializer=_init_worker,
+                initargs=(
+                    self.spec,
+                    self._worker_overrides(),
+                    self.prepare_direct,
+                    not fork,
+                ),
+            )
+        return self._pool
+
+    def _local_solver(self) -> SubstrateSolver:
+        if self._local is None:
+            self._local = self.spec.build()
+        return self._local
+
+    def warm_up(self) -> None:
+        """Start the pool and run worker initialisation now (untimed set-up).
+
+        Submits one barrier-rendezvous task per worker — each blocks its
+        worker until all have arrived — so that every worker process has
+        built (and, with ``prepare_direct``, factored) its solver before the
+        first timed block arrives.
+        """
+        if self.n_workers <= 1:
+            self._local_solver()
+            return
+        pool = self._ensure_pool()
+        with mp.Manager() as manager:
+            barrier = manager.Barrier(self.n_workers)
+            futures = [
+                pool.submit(_rendezvous, barrier) for _ in range(self.n_workers)
+            ]
+            for fut in futures:
+                fut.result()
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown(wait=True)
+            self._pool = None
+
+    def __enter__(self) -> "ParallelExtractor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------ solves
+    def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
+        v = np.asarray(voltages, dtype=float)
+        if v.shape != (self.n_contacts,):
+            raise ValueError("expected one voltage per contact")
+        return self.solve_many(v[:, None])[:, 0]
+
+    def solve_many(self, voltages: np.ndarray) -> np.ndarray:
+        """Shard the block's columns across the worker pool and merge results.
+
+        Columns are split into one contiguous shard per worker; each worker
+        serves its shard through its own solver's ``solve_many`` (adaptive
+        dispatch included) and the per-process statistics, gauge constants
+        and result columns are merged back.  Column ``j`` of the result
+        matches the serial solver's ``solve_many`` on column ``j`` to solver
+        tolerance, and narrow blocks short-circuit to an inline solve.
+        """
+        v = np.asarray(voltages, dtype=float)
+        if v.ndim != 2 or v.shape[0] != self.n_contacts:
+            raise ValueError("expected an (n_contacts, k) voltage block")
+        k = v.shape[1]
+        if k == 0:
+            return np.empty_like(v)
+        if self.n_workers <= 1 or k < max(self.min_parallel_columns, 2):
+            return self._solve_inline(v)
+
+        pool = self._ensure_pool()
+        n_shards = min(self.n_workers, k)
+        bounds = np.linspace(0, k, n_shards + 1, dtype=int)
+        shm = None
+        shm_name = None
+        if self.use_shared_memory:
+            try:
+                from multiprocessing import shared_memory
+
+                shm = shared_memory.SharedMemory(
+                    create=True, size=max(v.shape[0] * k * 8, 1)
+                )
+                shm_name = shm.name
+            except (OSError, ValueError):
+                shm = None
+                shm_name = None
+        try:
+            futures = [
+                pool.submit(
+                    _solve_shard,
+                    np.ascontiguousarray(v[:, lo:hi]),
+                    int(lo),
+                    shm_name,
+                    v.shape,
+                )
+                for lo, hi in zip(bounds[:-1], bounds[1:])
+                if hi > lo
+            ]
+            out = np.empty_like(v)
+            gauges = np.full(k, np.nan)
+            any_gauges = False
+            for fut in futures:
+                start, width, data, stats, shard_gauges = fut.result()
+                if data is not None:
+                    out[:, start : start + width] = data
+                self.stats.merge(stats)
+                if shard_gauges is not None:
+                    gauges[start : start + width] = shard_gauges
+                    any_gauges = True
+            if shm is not None:
+                block = np.ndarray(v.shape, dtype=np.float64, buffer=shm.buf)
+                out[:] = block
+        finally:
+            if shm is not None:
+                shm.close()
+                shm.unlink()
+        self.last_gauge_constants = gauges if any_gauges else None
+        return out
+
+    def _solve_inline(self, v: np.ndarray) -> np.ndarray:
+        solver = self._local_solver()
+        out, delta = _solve_with_stats_delta(solver, v)
+        self.stats.merge(delta)
+        self.last_gauge_constants = getattr(solver, "last_gauge_constants", None)
+        return out
+
+    # ------------------------------------------------------------- convenience
+    def extract_dense(self, **kwargs: Any) -> np.ndarray:
+        """Parallel dense extraction (``extract_dense(self, ...)``)."""
+        from .extraction import extract_dense
+
+        return extract_dense(self, **kwargs)
+
+    def extract_columns(self, columns: np.ndarray, **kwargs: Any) -> np.ndarray:
+        """Parallel column extraction (``extract_columns(self, ...)``)."""
+        from .extraction import extract_columns
+
+        return extract_columns(self, columns, **kwargs)

@@ -56,6 +56,21 @@ class SolveStats:
         """Record ``n_solves`` columns served by the direct (factored) path."""
         self.n_direct_solves += n_solves
 
+    def merge(self, other: "SolveStats") -> "SolveStats":
+        """Fold another stats object into this one; returns ``self``.
+
+        Used to aggregate per-process statistics of the parallel extraction
+        engine (and, in general, any multi-solver workload) into one report:
+        iterative/direct solve counts and iteration totals add, and
+        :attr:`mean_iterations` therefore stays "iterations per *iterative*
+        solve" over the union — direct solves never dilute it.
+        """
+        self.n_iterative_solves += other.n_iterative_solves
+        self.n_direct_solves += other.n_direct_solves
+        self.total_iterations += other.total_iterations
+        self.iterations_per_solve.extend(other.iterations_per_solve)
+        return self
+
     @property
     def n_solves(self) -> int:
         """Total black-box solves served, either engine."""

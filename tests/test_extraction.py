@@ -61,6 +61,26 @@ class TestExtraction:
         solver = CallableSolver(lambda v: reference_matrix @ v, layout)
         assert np.allclose(extract_dense(solver), reference_matrix)
 
+    def test_symmetrize_duplicate_columns_named_in_error(self, layout, reference_matrix):
+        """A duplicate-column request must fail with a message naming the
+        duplicated columns, not a confusing downstream argsort failure."""
+        solver = DenseMatrixSolver(reference_matrix, layout)
+        n = layout.n_contacts
+        columns = np.arange(n)
+        columns[1] = 4  # duplicates 4, drops 1 — still n columns long
+        with pytest.raises(ValueError, match=r"more than once: \[4\]"):
+            extract_columns(solver, columns, symmetrize=True)
+        with pytest.raises(ValueError, match="more than once"):
+            extract_columns(solver, np.array([0, 0, 1]), symmetrize=True)
+        # duplicates without symmetrize stay allowed (plain column sampling)
+        out = extract_columns(solver, np.array([2, 2]))
+        assert np.allclose(out[:, 0], out[:, 1])
+
+    def test_symmetrize_incomplete_columns_still_rejected(self, layout, reference_matrix):
+        solver = DenseMatrixSolver(reference_matrix, layout)
+        with pytest.raises(ValueError, match="every column exactly once"):
+            extract_columns(solver, np.array([0, 1, 2]), symmetrize=True)
+
     def test_dense_solver_validation(self, layout):
         with pytest.raises(ValueError):
             DenseMatrixSolver(np.ones((3, 4)), layout)

@@ -1,0 +1,344 @@
+"""Tests for the process-wide factor/plan cache.
+
+Covers the cache mechanics (LRU eviction under a byte budget, per-kind entry
+caps, hit/miss counters, oversized rejection) and the solver integrations:
+a second eigenfunction or finite-difference solver over the same
+``(layout, profile, grid)`` must load its direct factor from the cache
+instead of rebuilding it, and dispatch must treat a warm cache as a cached
+factor.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro import (
+    DispatchPolicy,
+    EigenfunctionSolver,
+    FactorCache,
+    SubstrateProfile,
+    extract_dense,
+    factor_cache,
+    factor_cache_clear,
+    factor_cache_info,
+    regular_grid,
+)
+from repro.substrate.bem.solver import BEM_FACTOR_KIND
+from repro.substrate.fd import FDDirectEngine, FiniteDifferenceSolver
+from repro.substrate.fd.direct import FD_FACTOR_KIND
+
+
+@pytest.fixture(scope="module")
+def tiny_layout():
+    return regular_grid(n_side=4, size=64.0, fill=0.5)
+
+
+def _profile(grounded: bool = True) -> SubstrateProfile:
+    return SubstrateProfile.two_layer_example(size=64.0, grounded_backplane=grounded)
+
+
+@pytest.fixture(autouse=True)
+def _clean_factor_kinds():
+    factor_cache_clear(BEM_FACTOR_KIND)
+    factor_cache_clear(FD_FACTOR_KIND)
+    yield
+    factor_cache_clear(BEM_FACTOR_KIND)
+    factor_cache_clear(FD_FACTOR_KIND)
+
+
+# ------------------------------------------------------------- cache mechanics
+def test_put_get_and_counters():
+    cache = FactorCache(max_bytes=1 << 20)
+    key = ("kind_a", "x", 1)
+    assert cache.get(key) is None
+    assert cache.misses == 1
+    value = np.ones(8)
+    assert cache.put(key, value) is value
+    assert cache.get(key) is value
+    assert cache.hits == 1
+    info = cache.cache_info()
+    assert info["entries"] == 1
+    assert info["by_kind"]["kind_a"]["hits"] == 1
+    assert info["by_kind"]["kind_a"]["misses"] == 1
+
+
+def test_byte_budget_evicts_lru():
+    cache = FactorCache(max_bytes=10 * 800)  # room for 10 100-double arrays
+    for i in range(12):
+        cache.put(("k", i), np.zeros(100))
+    info = cache.cache_info()
+    assert info["bytes"] <= cache.max_bytes
+    assert cache.evictions >= 2
+    # the oldest entries were evicted, the newest survive
+    assert cache.get(("k", 0)) is None
+    assert cache.get(("k", 11)) is not None
+
+
+def test_recency_refresh_protects_hot_entries():
+    cache = FactorCache(max_bytes=3 * 800)
+    hot = cache.put(("k", "hot"), np.zeros(100))
+    for i in range(8):
+        cache.put(("k", i), np.zeros(100))
+        assert cache.get(("k", "hot")) is hot  # touched every round
+
+
+def test_oversized_entry_is_returned_but_not_stored():
+    cache = FactorCache(max_bytes=100)
+    value = np.zeros(1000)
+    assert cache.put(("k", "big"), value) is value
+    assert cache.cache_info()["entries"] == 0
+    assert cache.oversized == 1
+
+
+def test_kind_limits_and_kind_clear():
+    cache = FactorCache(max_bytes=1 << 20)
+    cache.set_kind_limit("capped", 3)
+    for i in range(6):
+        cache.put(("capped", i), np.zeros(4))
+        cache.put(("free", i), np.zeros(4))
+    assert cache.count("capped") == 3
+    assert cache.count("free") == 6
+    cache.clear("capped")
+    assert cache.count("capped") == 0
+    assert cache.count("free") == 6
+
+
+def test_contains_is_counter_neutral():
+    cache = FactorCache(max_bytes=1 << 20)
+    cache.put(("k", 1), np.zeros(4))
+    before = (cache.hits, cache.misses)
+    assert cache.contains(("k", 1))
+    assert not cache.contains(("k", 2))
+    assert (cache.hits, cache.misses) == before
+
+
+def test_set_budget_evicts_immediately():
+    cache = FactorCache(max_bytes=1 << 20)
+    for i in range(4):
+        cache.put(("k", i), np.zeros(100))
+    cache.set_budget(2 * 800)
+    assert cache.cache_info()["bytes"] <= 2 * 800
+
+
+def test_get_or_build_builds_once():
+    cache = FactorCache(max_bytes=1 << 20)
+    calls = []
+
+    def builder():
+        calls.append(1)
+        return np.zeros(4)
+
+    first = cache.get_or_build(("k", 1), builder)
+    again = cache.get_or_build(("k", 1), builder)
+    assert first is again
+    assert len(calls) == 1
+
+
+# -------------------------------------------------------- layout fingerprints
+def test_layout_fingerprint_keys_on_geometry_not_names(tiny_layout):
+    same = regular_grid(n_side=4, size=64.0, fill=0.5)
+    assert tiny_layout.fingerprint == same.fingerprint
+    other = regular_grid(n_side=4, size=64.0, fill=0.4)
+    assert tiny_layout.fingerprint != other.fingerprint
+    assert hash(tiny_layout.fingerprint) == hash(same.fingerprint)
+
+
+# ------------------------------------------------------- solver integrations
+def test_bem_factor_shared_across_solver_instances(tiny_layout):
+    def build():
+        return EigenfunctionSolver(
+            tiny_layout,
+            _profile(),
+            max_panels=32,
+            dispatch=DispatchPolicy(force_path="direct"),
+        )
+
+    first = build()
+    assert first.prepare_direct()
+    misses_after_build = factor_cache_info()["by_kind"][BEM_FACTOR_KIND]["misses"]
+    second = build()
+    assert second.prepare_direct()
+    # the second solver loaded the cached factor: identical object, no rebuild
+    assert second._direct_factor is first._direct_factor
+    info = factor_cache_info()["by_kind"][BEM_FACTOR_KIND]
+    assert info["misses"] == misses_after_build
+    assert info["hits"] >= 1
+    # and the solves agree with a cache-free solver
+    g_cached = extract_dense(second)
+    clean = EigenfunctionSolver(
+        tiny_layout,
+        _profile(),
+        max_panels=32,
+        dispatch=DispatchPolicy(force_path="direct"),
+        use_factor_cache=False,
+    )
+    g_clean = extract_dense(clean)
+    assert np.allclose(g_cached, g_clean, rtol=0.0, atol=1e-10 * np.abs(g_clean).max())
+
+
+def test_bem_dispatch_sees_warm_cache_as_cached_factor(tiny_layout):
+    warmer = EigenfunctionSolver(tiny_layout, _profile(), max_panels=32)
+    assert warmer.prepare_direct()
+    fresh = EigenfunctionSolver(tiny_layout, _profile(), max_panels=32)
+    assert fresh._direct_factor is None
+    assert fresh._factor_available()
+    # a narrow block that would normally stay iterative now routes direct
+    fresh.solve_many(np.eye(tiny_layout.n_contacts)[:, :1])
+    assert fresh.last_dispatch.path == "direct"
+    assert fresh.last_dispatch.reason == "cached factor"
+
+
+def test_bem_use_factor_cache_false_is_isolated(tiny_layout):
+    warmer = EigenfunctionSolver(tiny_layout, _profile(), max_panels=32)
+    assert warmer.prepare_direct()
+    private = EigenfunctionSolver(
+        tiny_layout, _profile(), max_panels=32, use_factor_cache=False
+    )
+    assert not private._factor_available()
+    assert private.prepare_direct()
+    assert private._direct_factor is not warmer._direct_factor
+
+
+def test_fd_factor_shared_across_engines(tiny_layout):
+    def build():
+        return FiniteDifferenceSolver(
+            tiny_layout, _profile(), nx=8, ny=8, planes_per_layer=2
+        )
+
+    first = build()
+    assert first.prepare_direct()
+    second = build()
+    assert second.prepare_direct()
+    assert second._direct_engine._lu is first._direct_engine._lu
+    # a cache-free engine factors privately
+    private = FDDirectEngine(build().assembly, use_cache=False)
+    private.prepare()
+    assert private._lu is not first._direct_engine._lu
+
+
+def test_fd_direct_engine_solves_match_iterative(tiny_layout):
+    solver = FiniteDifferenceSolver(
+        tiny_layout,
+        _profile(),
+        nx=8,
+        ny=8,
+        planes_per_layer=2,
+        rtol=1e-12,
+        dispatch=DispatchPolicy(force_path="direct"),
+    )
+    reference = FiniteDifferenceSolver(
+        tiny_layout,
+        _profile(),
+        nx=8,
+        ny=8,
+        planes_per_layer=2,
+        rtol=1e-12,
+        dispatch=DispatchPolicy(force_path="iterative"),
+    )
+    v = np.random.default_rng(0).standard_normal((tiny_layout.n_contacts, 6))
+    out_direct = solver.solve_many(v)
+    out_iter = reference.solve_many(v)
+    assert solver.last_dispatch.path == "direct"
+    assert solver.stats.n_direct_solves == 6
+    assert reference.stats.n_iterative_solves == 6
+    scale = np.abs(out_iter).max()
+    assert np.allclose(out_direct, out_iter, rtol=0.0, atol=1e-8 * scale)
+
+
+@pytest.mark.parametrize("grounded", [True, False], ids=["grounded", "floating"])
+def test_fd_direct_extraction_matches_iterative(tiny_layout, grounded):
+    kwargs = dict(nx=8, ny=8, planes_per_layer=2, rtol=1e-12)
+    direct = FiniteDifferenceSolver(
+        tiny_layout,
+        _profile(grounded),
+        dispatch=DispatchPolicy(force_path="direct"),
+        **kwargs,
+    )
+    iterative = FiniteDifferenceSolver(
+        tiny_layout,
+        _profile(grounded),
+        dispatch=DispatchPolicy(force_path="iterative"),
+        **kwargs,
+    )
+    g_direct = extract_dense(direct)
+    g_iter = extract_dense(iterative)
+    assert np.allclose(
+        g_direct, g_iter, rtol=0.0, atol=1e-8 * np.abs(g_iter).max()
+    )
+
+
+def test_fd_adaptive_dispatch_is_iteration_aware(tiny_layout):
+    """The near-exact fast-Poisson preconditioner must stay iterative; the
+    weak Jacobi preconditioner must cross over to the sparse direct engine
+    for a full-width extraction block."""
+    fast = FiniteDifferenceSolver(
+        tiny_layout, _profile(), nx=16, ny=16, planes_per_layer=2
+    )
+    extract_dense(fast)
+    assert fast.last_dispatch.path == "iterative"
+    assert fast.stats.n_direct_solves == 0
+
+    weak = FiniteDifferenceSolver(
+        tiny_layout,
+        _profile(),
+        nx=16,
+        ny=16,
+        planes_per_layer=2,
+        preconditioner="jacobi",
+    )
+    extract_dense(weak)
+    assert weak.last_dispatch.path == "direct"
+    assert weak.stats.n_direct_solves == tiny_layout.n_contacts
+
+
+def test_fd_node_ceiling_forces_iterative(tiny_layout):
+    solver = FiniteDifferenceSolver(
+        tiny_layout,
+        _profile(),
+        nx=8,
+        ny=8,
+        planes_per_layer=2,
+        preconditioner="jacobi",
+        dispatch=DispatchPolicy(max_direct_nodes=10),
+    )
+    extract_dense(solver)
+    assert solver.last_dispatch.path == "iterative"
+    assert "max_direct_nodes" in solver.last_dispatch.reason
+    assert not solver.prepare_direct()
+
+
+def test_choose_sparse_policy_unit():
+    policy = DispatchPolicy()
+    # weakly preconditioned wide block: direct
+    wide = policy.choose_sparse(
+        n_nodes=8192, n_rhs=256, expected_iterations=130.0
+    )
+    assert wide.path == "direct"
+    # near-exact preconditioner: iterative even with a cached factor
+    fast = policy.choose_sparse(
+        n_nodes=8192, n_rhs=256, factor_cached=True, expected_iterations=1.0
+    )
+    assert fast.path == "iterative"
+    # narrow cold block never factors
+    narrow = policy.choose_sparse(n_nodes=8192, n_rhs=1, expected_iterations=130.0)
+    assert narrow.path == "iterative"
+    # failure latch and forced paths
+    failed = policy.choose_sparse(
+        n_nodes=8192, n_rhs=256, factor_failed=True, expected_iterations=130.0
+    )
+    assert failed.path == "iterative"
+    forced = DispatchPolicy(force_path="direct")
+    assert forced.choose_sparse(n_nodes=100, n_rhs=1).path == "direct"
+    capped = DispatchPolicy(force_path="direct", max_direct_nodes=10)
+    assert capped.choose_sparse(n_nodes=100, n_rhs=64).path == "iterative"
+
+
+def test_eigenvalue_tables_live_in_factor_cache():
+    from repro.substrate.bem import eigenvalue_table
+
+    profile = SubstrateProfile.uniform(64, 20.0)
+    table = eigenvalue_table(8, 8, profile)
+    info = factor_cache_info()["by_kind"]["eigenvalue_table"]
+    assert info["entries"] >= 1
+    assert eigenvalue_table(8, 8, profile) is table

@@ -1,0 +1,293 @@
+"""Tests for the process-parallel extraction engine.
+
+The :class:`~repro.substrate.parallel.ParallelExtractor` is a drop-in
+``SubstrateSolver``: sharding a ``solve_many`` block across worker processes
+must reproduce the serial results to solver tolerance, charge exactly the
+serial solve counts through a :class:`CountingSolver`, and merge the
+per-process :class:`SolveStats` into one report.  ``SolverSpec`` must
+round-trip through pickle into a subprocess for every example configuration.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro import (
+    CountingSolver,
+    ParallelExtractor,
+    SolveStats,
+    SolverSpec,
+    SquareHierarchy,
+    SubstrateProfile,
+    extract_columns,
+    extract_dense,
+    regular_grid,
+    solve_in_subprocess,
+)
+from repro.core.wavelet import WaveletSparsifier
+from repro.experiments import chapter4_examples, paper_examples
+
+
+@pytest.fixture(scope="module")
+def tiny_layout():
+    return regular_grid(n_side=4, size=64.0, fill=0.5)
+
+
+def _profile(grounded: bool = True) -> SubstrateProfile:
+    return SubstrateProfile.two_layer_example(size=64.0, grounded_backplane=grounded)
+
+
+def _bem_spec(layout, grounded=True, **options):
+    options.setdefault("max_panels", 32)
+    options.setdefault("fft_workers", 1)
+    return SolverSpec.bem(layout, _profile(grounded), **options)
+
+
+# ------------------------------------------------------------------ SolveStats
+def test_solve_stats_merge_adds_counts_and_keeps_iterative_mean():
+    a = SolveStats()
+    a.record(10)
+    a.record(20)
+    a.record_direct(5)
+    b = SolveStats()
+    b.record(30)
+    b.record_direct(7)
+    merged = a.merge(b)
+    assert merged is a
+    assert a.n_iterative_solves == 3
+    assert a.n_direct_solves == 12
+    assert a.n_solves == 15
+    assert a.total_iterations == 60
+    # mean stays per-iterative-solve: direct solves never dilute it
+    assert a.mean_iterations == 20.0
+    assert a.iterations_per_solve == [10, 20, 30]
+
+
+def test_solve_stats_merge_empty_is_identity():
+    a = SolveStats()
+    a.record(4)
+    a.merge(SolveStats())
+    assert a.as_dict() == {
+        "n_solves": 1,
+        "n_iterative_solves": 1,
+        "n_direct_solves": 0,
+        "total_iterations": 4,
+        "mean_iterations": 4.0,
+    }
+
+
+# ------------------------------------------------------------------ SolverSpec
+def test_solver_spec_validation(tiny_layout):
+    with pytest.raises(ValueError):
+        SolverSpec("quantum", tiny_layout, _profile())
+    with pytest.raises(ValueError):
+        SolverSpec("bem", tiny_layout, None)
+    with pytest.raises(ValueError):
+        SolverSpec("dense", tiny_layout, None)
+
+
+def test_solver_spec_build_overrides(tiny_layout):
+    spec = _bem_spec(tiny_layout, rtol=1e-6)
+    solver = spec.build(rtol=1e-10)
+    assert solver.rtol == 1e-10
+    assert solver.operator.fft_workers is None  # fft_workers=1 resolves to None
+
+
+@pytest.mark.parametrize("name", ["1a", "1b", "2", "3", "ch4-1", "ch4-2", "ch4-3"])
+def test_example_specs_roundtrip_through_subprocess(name):
+    """Every example config builds a spec that pickles, rebuilds an
+    equivalent solver in a subprocess, and matches the parent per-column."""
+    table = paper_examples(n_side=4, size=64.0)
+    table.update(chapter4_examples(n_side=4, size=64.0))
+    config = table[name]
+    layout = config.build_layout()
+    spec = config.build_spec(layout, fft_workers=1)
+    rebuilt = pickle.loads(pickle.dumps(spec))
+    assert rebuilt.kind == spec.kind
+    assert rebuilt.layout.fingerprint == layout.fingerprint
+
+    v = np.eye(layout.n_contacts)[:, :2]
+    parent = spec.build().solve_many(v)
+    child = solve_in_subprocess(spec, v)
+    scale = np.abs(parent).max()
+    assert np.abs(child - parent).max() <= 1e-10 * scale
+
+
+def test_large_example_specs_pickle():
+    """The Table 4.3 configs build picklable specs too (no subprocess solve:
+    they are exercised at reduced scale by the parametrised test above)."""
+    table = chapter4_examples(n_side=4, size=64.0)
+    for name in ("ch4-4", "ch4-5"):
+        spec = table[name].build_spec()
+        rebuilt = pickle.loads(pickle.dumps(spec))
+        assert rebuilt.layout.fingerprint == spec.layout.fingerprint
+
+
+# --------------------------------------------------------------- equivalence
+@pytest.mark.parametrize("grounded", [True, False], ids=["grounded", "floating"])
+def test_parallel_matches_serial_extraction(tiny_layout, grounded):
+    spec = _bem_spec(tiny_layout, grounded, rtol=1e-10)
+    g_serial = extract_dense(spec.build())
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=2) as ex:
+        g_parallel = ex.extract_dense()
+    scale = np.abs(g_serial).max()
+    assert np.abs(g_parallel - g_serial).max() <= 1e-10 * scale
+
+
+def test_parallel_extract_columns_and_narrow_inline(tiny_layout):
+    spec = _bem_spec(tiny_layout, rtol=1e-10)
+    serial = spec.build()
+    columns = np.array([5, 1, 9])
+    ref = extract_columns(serial, columns)
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=8) as ex:
+        out = ex.extract_columns(columns)  # 3 < 8 columns: solved inline
+        assert ex._pool is None  # narrow block never started the pool
+        wide = ex.extract_dense()
+        assert ex._pool is not None
+    assert np.abs(out - ref).max() <= 1e-10 * np.abs(ref).max()
+    assert np.abs(wide - extract_dense(serial)).max() <= 1e-10 * np.abs(ref).max()
+
+
+def test_parallel_fd_backend(tiny_layout):
+    spec = SolverSpec.fd(
+        tiny_layout,
+        _profile(),
+        nx=8,
+        ny=8,
+        planes_per_layer=2,
+        rtol=1e-10,
+        fft_workers=1,
+    )
+    g_serial = extract_dense(spec.build())
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=2) as ex:
+        g_parallel = ex.extract_dense()
+    assert np.abs(g_parallel - g_serial).max() <= 1e-10 * np.abs(g_serial).max()
+
+
+def test_parallel_dense_spec_and_pickled_fallback(tiny_layout, rng=None):
+    rng = np.random.default_rng(0)
+    n = tiny_layout.n_contacts
+    a = rng.standard_normal((n, n))
+    g = a @ a.T + n * np.eye(n)
+    spec = SolverSpec.dense(g, tiny_layout)
+    with ParallelExtractor(
+        spec, n_workers=2, min_parallel_columns=2, use_shared_memory=False
+    ) as ex:
+        out = ex.extract_dense()
+    assert np.allclose(out, g, rtol=0.0, atol=1e-12 * np.abs(g).max())
+
+
+def test_parallel_gauge_constants_match_serial(tiny_layout):
+    spec = _bem_spec(tiny_layout, grounded=False, rtol=1e-10)
+    serial = spec.build()
+    v = np.eye(tiny_layout.n_contacts)
+    serial.solve_many(v)
+    gauges_serial = serial.last_gauge_constants
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=2) as ex:
+        ex.solve_many(v)
+        gauges_parallel = ex.last_gauge_constants
+    assert gauges_parallel is not None
+    scale = np.abs(gauges_serial).max()
+    assert np.abs(gauges_parallel - gauges_serial).max() <= 1e-8 * scale
+
+
+def test_parallel_single_column_and_solve_currents(tiny_layout):
+    spec = _bem_spec(tiny_layout, rtol=1e-10)
+    serial = spec.build()
+    e = np.zeros(tiny_layout.n_contacts)
+    e[3] = 1.0
+    with ParallelExtractor(spec, n_workers=2) as ex:
+        out = ex.solve_currents(e.copy())
+    ref = serial.solve_currents(e)
+    assert np.abs(out - ref).max() <= 1e-10 * np.abs(ref).max()
+
+
+# ---------------------------------------------------------------- accounting
+def test_counting_attribution_identical_to_serial(tiny_layout):
+    spec = _bem_spec(tiny_layout, rtol=1e-10)
+    serial_counting = CountingSolver(spec.build())
+    extract_dense(serial_counting)
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=2) as ex:
+        parallel_counting = CountingSolver(ex)
+        extract_dense(parallel_counting)
+    assert parallel_counting.solve_count == serial_counting.solve_count
+    assert parallel_counting.solve_count == tiny_layout.n_contacts
+
+
+def test_parallel_stats_merge_matches_serial_totals(tiny_layout):
+    spec = _bem_spec(tiny_layout, rtol=1e-10)
+    serial = spec.build()
+    extract_dense(serial)
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=2) as ex:
+        ex.extract_dense()
+        merged = ex.stats
+    assert merged.n_solves == serial.stats.n_solves == tiny_layout.n_contacts
+
+
+def test_wavelet_extraction_through_parallel_extractor(tiny_layout):
+    """The wavelet combine-solves pipeline runs unchanged through the
+    parallel engine: same attributed solve count, same Gws."""
+    spec = _bem_spec(tiny_layout, rtol=1e-10)
+    hierarchy = SquareHierarchy(tiny_layout, max_level=2)
+
+    serial_counting = CountingSolver(spec.build())
+    rep_serial = WaveletSparsifier(hierarchy, order=2).extract(serial_counting)
+
+    with ParallelExtractor(spec, n_workers=2, min_parallel_columns=2) as ex:
+        parallel_counting = CountingSolver(ex)
+        rep_parallel = WaveletSparsifier(hierarchy, order=2).extract(parallel_counting)
+
+    assert parallel_counting.solve_count == serial_counting.solve_count
+    assert rep_parallel.n_solves == rep_serial.n_solves
+    diff = (rep_parallel.gw - rep_serial.gw).toarray()
+    scale = np.abs(rep_serial.gw.toarray()).max()
+    assert np.abs(diff).max() <= 1e-8 * scale
+
+
+# ------------------------------------------------------------------- plumbing
+def test_parallel_rejects_bad_shapes_and_workers(tiny_layout):
+    spec = _bem_spec(tiny_layout)
+    with pytest.raises(ValueError):
+        ParallelExtractor(spec, n_workers=0)
+    ex = ParallelExtractor(spec, n_workers=1)
+    with pytest.raises(ValueError):
+        ex.solve_many(np.zeros(tiny_layout.n_contacts))
+    with pytest.raises(ValueError):
+        ex.solve_many(np.zeros((tiny_layout.n_contacts + 1, 3)))
+    assert ex.solve_many(np.zeros((tiny_layout.n_contacts, 0))).shape == (
+        tiny_layout.n_contacts,
+        0,
+    )
+
+
+def test_inline_path_preserves_solver_iteration_history(tiny_layout):
+    """Regression: per-block stats deltas must not erase the worker solver's
+    cumulative history — the FD solver's iteration-aware dispatch feeds on
+    ``stats.n_iterative_solves`` observed across earlier blocks."""
+    spec = SolverSpec.fd(
+        tiny_layout, _profile(), nx=8, ny=8, planes_per_layer=2, fft_workers=1
+    )
+    ex = ParallelExtractor(spec, n_workers=1)
+    v = np.eye(tiny_layout.n_contacts)[:, :4]
+    ex.solve_many(v)
+    ex.solve_many(v)
+    local = ex._local
+    # cumulative on the solver, per-block deltas merged on the extractor
+    assert local.stats.n_solves == 8
+    assert ex.stats.n_solves == 8
+    assert local._expected_iterations() == local.stats.mean_iterations
+
+
+def test_warm_up_builds_workers_and_close_is_idempotent(tiny_layout):
+    spec = _bem_spec(tiny_layout)
+    ex = ParallelExtractor(spec, n_workers=2, prepare_direct=True)
+    ex.warm_up()
+    assert ex._pool is not None
+    out = ex.solve_many(np.eye(tiny_layout.n_contacts))
+    assert out.shape == (tiny_layout.n_contacts, tiny_layout.n_contacts)
+    ex.close()
+    ex.close()
+    assert ex._pool is None
