@@ -15,8 +15,6 @@ This example
 Run with:  python examples/mixed_signal_noise.py
 """
 
-import numpy as np
-
 from repro import EigenfunctionSolver, extract_dense
 from repro.circuits import Circuit, MNASolver, SubstrateMacromodel
 from repro.core import WaveletSparsifier

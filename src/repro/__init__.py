@@ -24,13 +24,18 @@ from .substrate import (
     DispatchDecision,
     DispatchPolicy,
     FactorCache,
+    FactorPlane,
     Layer,
     ParallelExtractor,
+    SharedFactorHandle,
+    SharedSparseLU,
     SolveCostModel,
     SolveStats,
     SolverSpec,
     SubstrateProfile,
     SubstrateSolver,
+    TiledCholeskyFactor,
+    attach_shared_factor,
     check_conductance_properties,
     extract_columns,
     extract_dense,
@@ -72,6 +77,11 @@ __all__ = [
     "extract_columns",
     "check_conductance_properties",
     "FactorCache",
+    "FactorPlane",
+    "SharedFactorHandle",
+    "SharedSparseLU",
+    "attach_shared_factor",
+    "TiledCholeskyFactor",
     "factor_cache",
     "factor_cache_clear",
     "factor_cache_info",

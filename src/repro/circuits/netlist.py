@@ -126,12 +126,16 @@ class Circuit:
         self.resistors.append(r)
         return r
 
-    def add_current_source(self, node_a: str, node_b: str, current: float, name: str = "") -> CurrentSource:
+    def add_current_source(
+        self, node_a: str, node_b: str, current: float, name: str = ""
+    ) -> CurrentSource:
         s = CurrentSource(node_a, node_b, current, name)
         self.current_sources.append(s)
         return s
 
-    def add_voltage_source(self, node_plus: str, node_minus: str, voltage: float, name: str = "") -> VoltageSource:
+    def add_voltage_source(
+        self, node_plus: str, node_minus: str, voltage: float, name: str = ""
+    ) -> VoltageSource:
         s = VoltageSource(node_plus, node_minus, voltage, name)
         self.voltage_sources.append(s)
         return s

@@ -112,7 +112,9 @@ class LowRankSparsifier:
             out[d.key] = term
         return out
 
-    def _split_fast_slow(self, interaction: np.ndarray, n_cols: int) -> tuple[np.ndarray, np.ndarray]:
+    def _split_fast_slow(
+        self, interaction: np.ndarray, n_cols: int
+    ) -> tuple[np.ndarray, np.ndarray]:
         """SVD split of an interaction matrix into slow (U) / fast (T) coefficients."""
         if interaction.size == 0:
             # nothing to separate against: keep everything as slow-decaying

@@ -172,7 +172,9 @@ class WaveletBasis:
         rows: list[np.ndarray] = []
         col_ptr: list[int] = [0]
 
-        def add_block(contact_indices: np.ndarray, matrix: np.ndarray, key: SquareKey, kind: str) -> None:
+        def add_block(
+            contact_indices: np.ndarray, matrix: np.ndarray, key: SquareKey, kind: str
+        ) -> None:
             for local in range(matrix.shape[1]):
                 column = matrix[:, local]
                 nz = np.flatnonzero(np.abs(column) > 0)

@@ -16,7 +16,7 @@ down by the caller (useful for quick tests).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable
 
 from ..geometry import (

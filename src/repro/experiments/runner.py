@@ -21,7 +21,7 @@ from ..analysis.metrics import (
 )
 from ..core.lowrank import LowRankSparsifier
 from ..core.wavelet import WaveletSparsifier
-from ..geometry import ContactLayout, SquareHierarchy
+from ..geometry import ContactLayout
 from ..substrate import CountingSolver, DenseMatrixSolver, extract_columns, extract_dense
 from ..substrate.fd import PRECONDITIONER_NAMES, FiniteDifferenceSolver
 from ..substrate.solver_base import SubstrateSolver
@@ -36,6 +36,7 @@ __all__ = [
     "run_solver_speed_table",
     "run_batched_extraction_experiment",
     "run_dispatch_experiment",
+    "run_factor_plane_experiment",
     "run_parallel_extraction_experiment",
     "singular_value_decay_experiment",
 ]
@@ -64,7 +65,11 @@ def _reference_solver(config: ExampleConfig, layout: ContactLayout) -> Substrate
 
 
 def _exact_reference(
-    solver: SubstrateSolver, layout: ContactLayout, max_dense: int, sample_columns: int, seed: int = 0
+    solver: SubstrateSolver,
+    layout: ContactLayout,
+    max_dense: int,
+    sample_columns: int,
+    seed: int = 0,
 ) -> tuple[np.ndarray | None, np.ndarray | None, np.ndarray | None]:
     """Dense G for small problems, a column sample for large ones (Table 4.3)."""
     n = layout.n_contacts
@@ -604,6 +609,193 @@ def run_parallel_extraction_experiment(
     results_meta = {"cpu_count": int(os.cpu_count() or 1)}
     for record in results:
         record.update(results_meta)
+    return results
+
+
+def run_factor_plane_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    repeats: int = 2,
+    workers: tuple[int, ...] = (2,),
+    backends: tuple[str, ...] = ("bem", "fd"),
+    backplanes: tuple[str, ...] = ("grounded", "floating"),
+) -> list[dict]:
+    """Shared-memory factor plane and tiled out-of-core direct engine.
+
+    Two measurements per ``(backend, backplane)`` combination:
+
+    * **Factor plane** — full dense extraction through a
+      :class:`~repro.substrate.parallel.ParallelExtractor` whose workers
+      *attach* to the parent's published factor
+      (``share_factors=True``, the default) versus one whose workers each
+      refactor (``share_factors=False``).  Records pool warm-up time both
+      ways, per-worker attach/rebuild counters from the merged
+      :class:`~repro.substrate.solver_base.SolveStats`, agreement with the
+      serial extraction and the attributed solve counts — the hard gates of
+      ``bench_factor_plane.py``.
+    * **Tiled engine** (eigenfunction backend only) — the same extraction
+      with ``max_direct_panels`` capped *below* the contact-panel count, so
+      the dispatch policy must route through the out-of-core tiled Cholesky,
+      compared against the uncapped in-core direct path.
+
+    This is the experiment behind ``BENCH_factor_plane.json``.
+    """
+    import os
+
+    from ..geometry.layouts import regular_grid
+    from ..substrate.bem.solver import BEM_FACTOR_KIND
+    from ..substrate.dispatch import DispatchPolicy
+    from ..substrate.factor_cache import factor_cache_clear
+    from ..substrate.fd.direct import FD_FACTOR_KIND
+    from ..substrate.parallel import ParallelExtractor, SolverSpec
+    from ..substrate.profile import SubstrateProfile
+    from ..substrate.solver_base import SolveStats
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profiles = {
+        "grounded": SubstrateProfile.two_layer_example(size=size, resistive_bottom=True),
+        "floating": SubstrateProfile.two_layer_example(size=size, grounded_backplane=False),
+    }
+    fd_resolution = max(16, 2 * n_side)
+
+    def build_spec(backend: str, profile: SubstrateProfile) -> SolverSpec:
+        if backend == "bem":
+            return SolverSpec.bem(layout, profile, max_panels=max_panels, rtol=rtol)
+        return SolverSpec.fd(
+            layout,
+            profile,
+            nx=fd_resolution,
+            ny=fd_resolution,
+            planes_per_layer=3,
+            rtol=rtol,
+        )
+
+    results: list[dict] = []
+    for backend in backends:
+        for backplane in backplanes:
+            spec = build_spec(backend, profiles[backplane])
+            factor_cache_clear(BEM_FACTOR_KIND)
+            factor_cache_clear(FD_FACTOR_KIND)
+
+            # --- serial reference (factor prepared, solves timed) ----------
+            t_serial = np.inf
+            g_serial = None
+            serial_counting = None
+            for _ in range(max(1, repeats)):
+                solver = spec.build()
+                solver.prepare_direct()
+                serial_counting = CountingSolver(solver)
+                start = time.perf_counter()
+                g_serial = extract_dense(serial_counting)
+                t_serial = min(t_serial, time.perf_counter() - start)
+            scale = float(np.abs(g_serial).max())
+
+            record: dict = {
+                "backend": backend,
+                "backplane": backplane,
+                "n_side": int(n_side),
+                "n_contacts": int(layout.n_contacts),
+                "repeats": int(max(1, repeats)),
+                "serial_s": float(t_serial),
+                "serial_solves": int(serial_counting.solve_count),
+                "parallel": [],
+            }
+
+            # --- shared plane (attach) vs per-worker refactor (rebuild) ----
+            # the rebuild arm disables the factor cache so forked workers
+            # cannot serve the factor from the parent's inherited (COW) cache
+            # — it must measure genuine per-worker refactorisation
+            rebuild_spec = SolverSpec(
+                spec.kind,
+                spec.layout,
+                spec.profile,
+                {**spec.options, "use_factor_cache": False},
+            )
+            for n_workers in workers:
+                row: dict = {"workers": int(n_workers)}
+                for label, arm_spec, share in (
+                    ("shared", spec, True),
+                    ("rebuild", rebuild_spec, False),
+                ):
+                    with ParallelExtractor(
+                        arm_spec,
+                        n_workers=int(n_workers),
+                        prepare_direct=True,
+                        share_factors=share,
+                    ) as extractor:
+                        start = time.perf_counter()
+                        extractor.warm_up()
+                        warmup_s = time.perf_counter() - start
+                        counting = CountingSolver(extractor)
+                        t_parallel = np.inf
+                        g_parallel = None
+                        for _ in range(max(1, repeats)):
+                            counting.reset()
+                            warm_stats = extractor.stats
+                            extractor.stats = SolveStats(
+                                n_factor_attaches=warm_stats.n_factor_attaches,
+                                n_factor_rebuilds=warm_stats.n_factor_rebuilds,
+                            )
+                            start = time.perf_counter()
+                            g_parallel = extract_dense(counting)
+                            t_parallel = min(t_parallel, time.perf_counter() - start)
+                        row[label] = {
+                            "warmup_s": float(warmup_s),
+                            "parallel_s": float(t_parallel),
+                            "speedup_vs_serial": float(t_serial / t_parallel),
+                            "max_abs_diff_rel": float(
+                                np.abs(g_parallel - g_serial).max() / scale
+                            ),
+                            "parallel_solves": int(counting.solve_count),
+                            "merged_stats": extractor.stats.as_dict(),
+                        }
+                record["parallel"].append(row)
+
+            # --- tiled out-of-core engine (eigenfunction backend only) -----
+            if backend == "bem":
+                serial_solver = serial_counting.inner
+                ncp = serial_solver.grid.n_contact_panels
+                cap = max(1, ncp // 2)
+                # force the tiled engine (the gate is that it extracts an
+                # identical G above max_direct_panels); what the *adaptive*
+                # crossover would have picked is recorded alongside — which
+                # side of the crossover a given size lands on is a property
+                # of the cost model and the machine, not a correctness gate
+                tiled_solver = spec.build(
+                    use_factor_cache=False,
+                    dispatch=DispatchPolicy(
+                        max_direct_panels=cap, force_path="tiled"
+                    ),
+                )
+                start = time.perf_counter()
+                g_tiled = extract_dense(tiled_solver)
+                tiled_s = time.perf_counter() - start
+                tf = tiled_solver._tiled_factor
+                adaptive = DispatchPolicy(max_direct_panels=cap).choose(
+                    n_panels=ncp,
+                    n_rhs=layout.n_contacts,
+                    grid_points=serial_solver.grid.n_panels,
+                    grounded=serial_solver.profile.grounded_backplane,
+                )
+                record["tiled"] = {
+                    "n_contact_panels": int(ncp),
+                    "max_direct_panels": int(cap),
+                    "path": tiled_solver.last_dispatch.path,
+                    "adaptive_path": adaptive.path,
+                    "tiled_s": float(tiled_s),
+                    "direct_s": float(t_serial),
+                    "max_abs_diff_rel": float(
+                        np.abs(g_tiled - g_serial).max() / scale
+                    ),
+                    "spilled": bool(tf[1].spilled) if tf is not None else None,
+                }
+                tiled_solver.close_tiled()
+            results.append(record)
+    for record in results:
+        record["cpu_count"] = int(os.cpu_count() or 1)
     return results
 
 

@@ -127,7 +127,9 @@ class SquareHierarchy:
             # choose L so that 4^L * target >= n
             max_level = max(2, int(np.ceil(np.log(max(n / target_per_square, 1.0)) / np.log(4.0))))
         if max_level < 2:
-            raise ValueError("max_level must be at least 2 (coarser levels have empty interaction lists)")
+            raise ValueError(
+                "max_level must be at least 2 (coarser levels have empty interaction lists)"
+            )
         self.max_level = int(max_level)
         self.size_x = layout.size_x
         self.size_y = layout.size_y

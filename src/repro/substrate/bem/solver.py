@@ -40,6 +40,7 @@ from ..dispatch import DispatchDecision, DispatchPolicy
 from ..factor_cache import factor_cache
 from ..profile import SubstrateProfile
 from ..solver_base import SolveStats, SubstrateSolver
+from ..tiled import DEFAULT_TILE, TiledCholeskyFactor
 from .operator import SurfaceOperator
 
 #: factor-cache kind string of the dense contact-block factorisations
@@ -172,6 +173,15 @@ class EigenfunctionSolver(SubstrateSolver):
         factorisation, so a second solver over the same
         ``(layout, profile, grid)`` pays ~zero factor cost.  Disable to force
         a private factorisation (benchmarking cold paths).
+    tile_panels:
+        Tile edge of the out-of-core tiled engine
+        (:class:`~repro.substrate.tiled.TiledCholeskyFactor`), used when the
+        dispatch policy routes a block to the ``"tiled"`` path (panel counts
+        above ``max_direct_panels``).
+    tiled_spill_bytes:
+        Spill threshold of the tiled engine; factors larger than this go to
+        a memmapped scratch file.  ``None`` (default) uses the process-wide
+        factor-cache budget.
     """
 
     def __init__(
@@ -187,6 +197,8 @@ class EigenfunctionSolver(SubstrateSolver):
         dispatch: DispatchPolicy | None = None,
         fft_workers: int | None = None,
         use_factor_cache: bool = True,
+        tile_panels: int = DEFAULT_TILE,
+        tiled_spill_bytes: int | None = None,
     ) -> None:
         self.layout = layout
         self.profile = profile
@@ -216,6 +228,11 @@ class EigenfunctionSolver(SubstrateSolver):
         #: ("schur", factor, w, s) or ("bordered", lu, piv) for floating ones
         self._direct_factor: tuple | None = None
         self._direct_failed = False
+        #: out-of-core factorisation for the tiled path; one of
+        #: ("tiled_chol", tf) or ("tiled_schur", tf, w, s)
+        self._tiled_factor: tuple | None = None
+        self.tile_panels = int(tile_panels)
+        self.tiled_spill_bytes = tiled_spill_bytes
         self.use_factor_cache = bool(use_factor_cache)
         #: process-wide factor-cache key of this solver's direct factorisation
         self._factor_cache_key = (
@@ -236,6 +253,16 @@ class EigenfunctionSolver(SubstrateSolver):
     def max_direct_panels(self) -> int:
         """Dense-factorisation panel ceiling (delegates to the policy)."""
         return self.dispatch.max_direct_panels
+
+    @property
+    def factor_cache_key(self) -> tuple:
+        """Process-wide factor-cache key of this solver's direct factor.
+
+        The parallel engine's shared-memory factor plane publishes the
+        parent's factor under this key so worker processes attach instead of
+        refactoring.
+        """
+        return self._factor_cache_key
 
     # ----------------------------------------------------------------- solves
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
@@ -329,6 +356,7 @@ class EigenfunctionSolver(SubstrateSolver):
             grounded=self.profile.grounded_backplane,
             factor_cached=self._factor_available(),
             factor_failed=self._direct_failed,
+            tiled_factor_cached=self._tiled_factor is not None,
         )
         self.last_dispatch = decision
         if decision.path == "direct":
@@ -343,6 +371,19 @@ class EigenfunctionSolver(SubstrateSolver):
             )
             self.last_dispatch = DispatchDecision(
                 "iterative", "direct factorisation failed"
+            )
+        elif decision.path == "tiled":
+            solved = self._solve_many_tiled(v)
+            if solved is not None:
+                return solved
+            warnings.warn(
+                "tiled contact-block factorisation failed (numerically non-SPD "
+                "contact block); falling back to the iterative path",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            self.last_dispatch = DispatchDecision(
+                "iterative", "tiled factorisation failed"
             )
         out = np.empty_like(v)
         # accumulate per-column gauge constants across chunks (each floating
@@ -440,8 +481,27 @@ class EigenfunctionSolver(SubstrateSolver):
     def _set_direct_factor(self, factor: tuple) -> None:
         """Hold the freshly built factor and share it through the cache."""
         self._direct_factor = factor
+        # this factor was computed here, not loaded or attached — the factor
+        # plane's "zero per-worker refactorisations" gate watches this counter
+        self.stats.record_factor_rebuild()
         if self.use_factor_cache:
             factor_cache().put(self._factor_cache_key, factor)
+
+    def _ensure_incidence(self) -> np.ndarray:
+        """Contact->panel owner gather plus the cached panel->contact sum.
+
+        Both factored paths (in-core direct and tiled) spread contact
+        voltages to panels through the returned ``owner`` index and gather
+        panel currents back through the cached sparse incidence product.
+        """
+        owner = self.grid.panel_to_contact[self.grid.all_contact_panels]
+        if self._incidence is None:
+            ncp = owner.size
+            self._incidence = sparse.csr_matrix(
+                (np.ones(ncp), (owner, np.arange(ncp))),
+                shape=(self.layout.n_contacts, ncp),
+            )
+        return owner
 
     def _solve_many_direct(self, v: np.ndarray) -> np.ndarray | None:
         """Factor-once / solve-all path; returns None on factorisation failure.
@@ -457,15 +517,7 @@ class EigenfunctionSolver(SubstrateSolver):
             # the caller falls back to the iterative path with a warning.
             self._direct_failed = True
             return None
-        # contact -> panel spread and panel -> contact sum, restricted to the
-        # contact panels (owner gather / sparse incidence product)
-        owner = self.grid.panel_to_contact[self.grid.all_contact_panels]
-        if self._incidence is None:
-            ncp = owner.size
-            self._incidence = sparse.csr_matrix(
-                (np.ones(ncp), (owner, np.arange(ncp))),
-                shape=(self.layout.n_contacts, ncp),
-            )
+        owner = self._ensure_incidence()
         kind = self._direct_factor[0]
         k_total = v.shape[1]
         grounded = self.profile.grounded_backplane
@@ -493,6 +545,107 @@ class EigenfunctionSolver(SubstrateSolver):
             self.last_gauge_constants = gauges
         self.stats.record_direct(k_total)
         return out
+
+    # --------------------------------------------------------------- tiled path
+    def prepare_tiled(self) -> bool:
+        """Build the out-of-core tiled factor now (untimed warm-up hook).
+
+        Returns True when a tiled factor is held afterwards; False when the
+        tiled path is unavailable (policy ceiling, or a failed ``A_cc``
+        Cholesky, which also latches ``_direct_failed`` — it is the same
+        matrix the dense path would factor).
+        """
+        if self._direct_failed:
+            return False
+        if not 0 < self.grid.n_contact_panels <= self.dispatch.max_tiled_panels:
+            return False
+        try:
+            self._ensure_tiled_factor()
+        except LinAlgError:
+            self._direct_failed = True
+            return False
+        return True
+
+    def _ensure_tiled_factor(self) -> None:
+        """Assemble and factor ``A_cc`` tile by tile (out-of-core Cholesky).
+
+        Grounded backplane: blocked Cholesky ``A_cc = L L^T`` over tiled
+        storage.  Floating backplane: the same tiled factor plus the solved
+        border column ``w = A_cc^{-1} 1`` and Schur pivot ``s = 1' w`` (the
+        bordered-LU fallback of the dense path has no out-of-core analogue;
+        a singular ``A_cc`` raises and the caller falls back to iterative).
+        Tiled factors are held per solver, not in the process-wide cache —
+        a spilled factor *is* its scratch file, there is nothing to share.
+        """
+        if self._tiled_factor is not None:
+            return
+        ncp = self.grid.n_contact_panels
+        tf = TiledCholeskyFactor(
+            ncp, tile=self.tile_panels, spill_over_bytes=self.tiled_spill_bytes
+        )
+        rows = self.operator.contact_block_rows
+
+        def assemble(start: int, stop: int) -> np.ndarray:
+            return rows(start, stop, max_batch=self.max_batch)
+
+        try:
+            tf.factor(assemble)
+        except LinAlgError:
+            tf.close()
+            raise
+        self.stats.record_factor_rebuild()
+        if self.profile.grounded_backplane:
+            self._tiled_factor = ("tiled_chol", tf)
+            return
+        ones = np.ones(ncp)
+        w = tf.solve(ones)
+        s = float(ones @ w)
+        if not np.isfinite(s) or s <= 0.0:
+            tf.close()
+            raise LinAlgError("degenerate Schur complement on the tiled factor")
+        self._tiled_factor = ("tiled_schur", tf, w, s)
+
+    def _solve_many_tiled(self, v: np.ndarray) -> np.ndarray | None:
+        """Out-of-core factor-once / solve-all path; None on factor failure.
+
+        Identical contact->panel plumbing to :meth:`_solve_many_direct`, with
+        the triangular solves served by the tiled factor in
+        ``max_batch``-column chunks (the blocked substitution stages one tile
+        of ``L`` in RAM at a time).
+        """
+        try:
+            self._ensure_tiled_factor()
+        except LinAlgError:
+            self._direct_failed = True
+            return None
+        owner = self._ensure_incidence()
+        kind = self._tiled_factor[0]
+        k_total = v.shape[1]
+        grounded = self.profile.grounded_backplane
+        out = np.empty_like(v)
+        gauges = None if grounded else np.empty(k_total)
+        for start in range(0, k_total, self.max_batch):
+            chunk = slice(start, min(start + self.max_batch, k_total))
+            v_panel = v[:, chunk][owner]
+            if kind == "tiled_chol":
+                q_panel = self._tiled_factor[1].solve(v_panel)
+            else:  # tiled Schur complement (floating backplane)
+                _, tf, w, s = self._tiled_factor
+                q0 = tf.solve(v_panel)
+                c = q0.sum(axis=0) / s
+                q_panel = q0 - w[:, None] * c
+                gauges[chunk] = c
+            out[:, chunk] = self._incidence @ q_panel
+        if gauges is not None:
+            self.last_gauge_constants = gauges
+        self.stats.record_direct(k_total)
+        return out
+
+    def close_tiled(self) -> None:
+        """Release the tiled factor's scratch storage (idempotent)."""
+        if self._tiled_factor is not None:
+            self._tiled_factor[1].close()
+            self._tiled_factor = None
 
     # ----------------------------------------------------------- iterative path
     def _solve_many_chunk(self, v: np.ndarray) -> np.ndarray:

@@ -25,6 +25,16 @@ engine (:mod:`repro.substrate.parallel`) each warm their own copy.  Factors
 cached here are shared between solver instances, so they are treated as
 read-only by all consumers.
 
+On top of the per-process cache this module also provides the
+**shared-memory factor plane**: :class:`FactorPlane` serialises a cached
+factor's array payload (dense Cholesky/Schur/bordered factors, the component
+arrays of a sparse LU) into one ``multiprocessing.shared_memory`` segment and
+hands out picklable :class:`SharedFactorHandle` descriptors;
+:func:`attach_shared_factor` reconstructs the factor in another process as
+zero-copy numpy views over the same physical pages.  The parallel extraction
+engine uses this to ship the parent's factors to its worker pool instead of
+letting every worker refactor.
+
 Environment knob: ``REPRO_FACTOR_CACHE_BYTES`` overrides the default budget
 (512 MiB) for the process-wide instance.
 """
@@ -34,12 +44,17 @@ from __future__ import annotations
 import os
 import threading
 from collections import OrderedDict
+from dataclasses import dataclass, field
 from typing import Any, Callable, Hashable
 
 import numpy as np
 
 __all__ = [
     "FactorCache",
+    "FactorPlane",
+    "SharedFactorHandle",
+    "SharedSparseLU",
+    "attach_shared_factor",
     "factor_cache",
     "factor_cache_info",
     "factor_cache_clear",
@@ -58,6 +73,9 @@ def _estimate_nbytes(value: Any) -> int:
         return sum(_estimate_nbytes(v) for v in value) + 64
     if isinstance(value, dict):
         return sum(_estimate_nbytes(v) for v in value.values()) + 64
+    nb = getattr(value, "nbytes", None)
+    if isinstance(nb, (int, np.integer)):  # e.g. a SharedSparseLU
+        return int(nb)
     data = getattr(value, "data", None)
     if isinstance(data, np.ndarray):  # scipy sparse matrices
         total = int(data.nbytes)
@@ -267,3 +285,289 @@ def factor_cache_clear(kind: str | None = None) -> None:
 def set_factor_cache_budget(max_bytes: int) -> None:
     """Change the process-wide cache budget, evicting down to it."""
     _GLOBAL.set_budget(max_bytes)
+
+
+# ===================================================================== plane
+# Shared-memory shipping of factor payloads between processes.
+#
+# A factor is *flattened* into (meta, arrays): ``meta`` is a small picklable
+# description of the factor's structure, ``arrays`` the ordered list of numpy
+# payloads.  The plane packs the arrays back-to-back (8-byte aligned) into one
+# ``multiprocessing.shared_memory`` segment; attaching rebuilds the factor
+# with read-only ndarray views over the segment, so N worker processes share
+# one physical copy of the factor instead of N private rebuilds.
+
+
+class SharedSparseLU:
+    """Solver-compatible stand-in for a ``scipy.sparse.linalg.SuperLU``.
+
+    Holds the LU decomposition's component arrays (``Pr A Pc = L U`` with the
+    permutations given as index vectors) and serves :meth:`solve` through two
+    sparse triangular sweeps — the same contract ``FDDirectEngine`` expects
+    from a native SuperLU object.  The component arrays may be views into a
+    shared-memory segment; they are never written.  The CSR forms needed by
+    the triangular solver are derived lazily on first solve (a worker-private
+    copy of the fill, made only when the factor is actually used).
+
+    Requires factors built without equilibration (``options={"Equil": False}``
+    at ``splu`` time): SuperLU does not expose its row/column scalings, so an
+    equilibrated factor cannot be reconstructed from components.
+    """
+
+    def __init__(
+        self,
+        l_data: np.ndarray,
+        l_indices: np.ndarray,
+        l_indptr: np.ndarray,
+        u_data: np.ndarray,
+        u_indices: np.ndarray,
+        u_indptr: np.ndarray,
+        perm_r: np.ndarray,
+        perm_c: np.ndarray,
+        shape: tuple[int, int],
+    ) -> None:
+        from scipy.sparse import csc_matrix
+
+        self.shape = (int(shape[0]), int(shape[1]))
+        self._l = csc_matrix((l_data, l_indices, l_indptr), shape=self.shape)
+        self._u = csc_matrix((u_data, u_indices, u_indptr), shape=self.shape)
+        self.perm_r = np.asarray(perm_r)
+        self.perm_c = np.asarray(perm_c)
+        self._l_csr = None
+        self._u_csr = None
+
+    @classmethod
+    def from_superlu(cls, lu: Any) -> "SharedSparseLU":
+        """Decompose a (non-equilibrated) SuperLU into its component arrays."""
+        l_csc = lu.L.tocsc()
+        u_csc = lu.U.tocsc()
+        return cls(
+            l_csc.data,
+            l_csc.indices,
+            l_csc.indptr,
+            u_csc.data,
+            u_csc.indices,
+            u_csc.indptr,
+            lu.perm_r,
+            lu.perm_c,
+            lu.shape,
+        )
+
+    @property
+    def nnz(self) -> int:
+        return int(self._l.nnz + self._u.nnz)
+
+    @property
+    def nbytes(self) -> int:
+        """Total bytes of the component arrays (cache accounting)."""
+        total = 0
+        for mat in (self._l, self._u):
+            total += mat.data.nbytes + mat.indices.nbytes + mat.indptr.nbytes
+        return total + self.perm_r.nbytes + self.perm_c.nbytes
+
+    def component_arrays(self) -> list[np.ndarray]:
+        """The flattenable payload, in :class:`SharedSparseLU` argument order."""
+        return [
+            self._l.data,
+            self._l.indices,
+            self._l.indptr,
+            self._u.data,
+            self._u.indices,
+            self._u.indptr,
+            self.perm_r,
+            self.perm_c,
+        ]
+
+    def solve(self, b: np.ndarray) -> np.ndarray:
+        """Solve ``A x = b`` from the components: ``x = Pc U^-1 L^-1 Pr b``."""
+        from scipy.sparse.linalg import spsolve_triangular
+
+        if self._l_csr is None:
+            self._l_csr = self._l.tocsr()
+            self._u_csr = self._u.tocsr()
+        b = np.asarray(b, dtype=float)
+        squeeze = b.ndim == 1
+        if squeeze:
+            b = b[:, None]
+        prb = np.empty_like(b)
+        prb[self.perm_r] = b
+        z = spsolve_triangular(self._l_csr, prb, lower=True)
+        w = spsolve_triangular(self._u_csr, z, lower=False)
+        x = w[self.perm_c]
+        return x[:, 0] if squeeze else x
+
+
+def _flatten_factor(factor: Any) -> tuple[dict, list[np.ndarray]]:
+    """Decompose a cacheable factor into (picklable meta, array payloads).
+
+    Supported shapes are exactly the factor kinds the solvers cache: the BEM
+    dense tuples (``("chol", (c, lower))``, ``("schur", (c, lower), w, s)``,
+    ``("bordered", lu, piv)``) and sparse LUs (native SuperLU or an already
+    reconstructed :class:`SharedSparseLU`).  Raises ``TypeError`` for
+    anything else so callers can skip unshippable cache entries.
+    """
+    if isinstance(factor, tuple) and factor and isinstance(factor[0], str):
+        kind = factor[0]
+        if kind == "chol":
+            c, lower = factor[1]
+            return {"factor": "chol", "lower": bool(lower)}, [np.ascontiguousarray(c)]
+        if kind == "schur":
+            (c, lower), w, s = factor[1], factor[2], factor[3]
+            return (
+                {"factor": "schur", "lower": bool(lower), "s": float(s)},
+                [np.ascontiguousarray(c), np.ascontiguousarray(w)],
+            )
+        if kind == "bordered":
+            lu, piv = factor[1], factor[2]
+            return {"factor": "bordered"}, [
+                np.ascontiguousarray(lu),
+                np.ascontiguousarray(piv),
+            ]
+        raise TypeError(f"unknown dense factor kind {kind!r}")
+    if isinstance(factor, SharedSparseLU):
+        return {"factor": "sparse_lu", "shape": factor.shape}, [
+            np.ascontiguousarray(a) for a in factor.component_arrays()
+        ]
+    if hasattr(factor, "perm_r") and hasattr(factor, "L"):  # native SuperLU
+        return _flatten_factor(SharedSparseLU.from_superlu(factor))
+    raise TypeError(f"cannot flatten factor of type {type(factor).__name__}")
+
+
+def _rebuild_factor(meta: dict, arrays: list[np.ndarray]) -> Any:
+    """Inverse of :func:`_flatten_factor` over (possibly shared) arrays."""
+    kind = meta["factor"]
+    if kind == "chol":
+        return ("chol", (arrays[0], meta["lower"]))
+    if kind == "schur":
+        return ("schur", (arrays[0], meta["lower"]), arrays[1], meta["s"])
+    if kind == "bordered":
+        return ("bordered", arrays[0], arrays[1])
+    if kind == "sparse_lu":
+        return SharedSparseLU(*arrays, shape=tuple(meta["shape"]))
+    raise TypeError(f"unknown flattened factor kind {kind!r}")
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+@dataclass(frozen=True)
+class SharedFactorHandle:
+    """Picklable descriptor of one factor published in a shared segment.
+
+    ``specs`` lists, per payload array, ``(byte offset, shape, dtype string)``
+    inside the segment named ``segment_name``; ``meta`` is the structural
+    description consumed by :func:`_rebuild_factor`.
+    """
+
+    key: tuple
+    segment_name: str
+    meta: dict
+    specs: tuple[tuple[int, tuple[int, ...], str], ...]
+    nbytes: int
+
+
+@dataclass
+class FactorPlane:
+    """Parent-side owner of the shared-memory factor segments.
+
+    ``publish`` serialises one factor per call into its own segment and
+    returns the handle workers attach through; the plane keeps the live
+    ``SharedMemory`` objects so the segments survive until :meth:`unlink`.
+    The creating process owns the segments: closing only drops this process's
+    mapping, unlinking removes the backing ``/dev/shm`` entries (idempotent,
+    also run by ``__del__`` as a last resort).
+    """
+
+    _segments: list = field(default_factory=list)
+    _unlinked: bool = False
+
+    def publish(self, key: tuple, factor: Any) -> SharedFactorHandle:
+        """Serialise ``factor`` into a fresh segment; returns the handle."""
+        from multiprocessing import shared_memory
+
+        meta, arrays = _flatten_factor(factor)
+        specs: list[tuple[int, tuple[int, ...], str]] = []
+        offset = 0
+        for arr in arrays:
+            specs.append((offset, arr.shape, arr.dtype.str))
+            offset = _align8(offset + arr.nbytes)
+        shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+        for arr, (off, _, _) in zip(arrays, specs):
+            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+            view[...] = arr
+        self._segments.append(shm)
+        return SharedFactorHandle(
+            key=key,
+            segment_name=shm.name,
+            meta=meta,
+            specs=tuple(specs),
+            nbytes=offset,
+        )
+
+    def close(self) -> None:
+        """Drop this process's mappings (the segments stay alive)."""
+        for shm in self._segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+
+    def unlink(self) -> None:
+        """Remove the backing shared-memory entries (idempotent)."""
+        if self._unlinked:
+            return
+        self._unlinked = True
+        for shm in self._segments:
+            try:
+                shm.close()
+            except Exception:
+                pass
+            try:
+                shm.unlink()
+            except Exception:
+                pass
+        self._segments = []
+
+    def __enter__(self) -> "FactorPlane":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.unlink()
+        except Exception:
+            pass
+
+
+def attach_shared_factor(
+    handle: SharedFactorHandle, unregister: bool = False
+) -> tuple[Any, Any]:
+    """Reconstruct a published factor as views over its shared segment.
+
+    Returns ``(factor, segment)`` — the caller must keep ``segment``
+    referenced for as long as the factor is in use (the views borrow its
+    buffer).  The views are marked read-only: the plane shares one physical
+    copy between processes, so no consumer may write through it.  With
+    ``unregister`` the segment is removed from this process's
+    ``resource_tracker`` registration (spawn-started workers get a private
+    tracker that must not treat the parent-owned segment as leaked).
+    """
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=handle.segment_name)
+    if unregister:
+        try:
+            from multiprocessing import resource_tracker
+
+            resource_tracker.unregister(shm._name, "shared_memory")
+        except Exception:
+            pass
+    arrays = []
+    for off, shape, dtype in handle.specs:
+        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
+        view.flags.writeable = False
+        arrays.append(view)
+    return _rebuild_factor(handle.meta, arrays), shm

@@ -15,7 +15,14 @@ that reuse one factor across very many columns.
 Factorisations are shared through the process-wide
 :mod:`~repro.substrate.factor_cache`, keyed on the layout fingerprint, the
 physical profile and the grid resolution, so a second solver over the same
-substrate (or a benchmark repetition) pays ~zero factor cost.
+substrate (or a benchmark repetition) pays ~zero factor cost.  They are built
+**without equilibration** (``options={"Equil": False}``): SuperLU does not
+expose its row/column scalings, and a non-equilibrated factor is exactly
+reconstructible from its component arrays — which is what lets the parallel
+engine's shared-memory factor plane ship these factors to worker processes
+(as :class:`~repro.substrate.factor_cache.SharedSparseLU` views) instead of
+refactoring per worker.  The FD systems are diagonally dominant
+grid-of-resistors matrices, so skipping equilibration costs no accuracy.
 """
 
 from __future__ import annotations
@@ -24,6 +31,7 @@ import numpy as np
 from scipy.sparse.linalg import splu
 
 from ..factor_cache import factor_cache
+from ..solver_base import SolveStats
 from .assembly import FDAssembly
 
 __all__ = ["FDDirectEngine", "fd_factor_cache_key"]
@@ -55,13 +63,28 @@ class FDDirectEngine:
     use_cache:
         Consult (and populate) the process-wide factor cache.  Disable to
         force a private factorisation (benchmarking cold paths).
+    stats:
+        Optional :class:`~repro.substrate.solver_base.SolveStats` that gets a
+        ``record_factor_rebuild`` whenever :meth:`prepare` actually factors
+        (as opposed to loading from the cache or an attached shared payload).
     """
 
-    def __init__(self, assembly: FDAssembly, use_cache: bool = True) -> None:
+    def __init__(
+        self,
+        assembly: FDAssembly,
+        use_cache: bool = True,
+        stats: SolveStats | None = None,
+    ) -> None:
         self.assembly = assembly
         self.use_cache = bool(use_cache)
+        self.stats = stats
         self._key = fd_factor_cache_key(assembly)
         self._lu = None
+
+    @property
+    def factor_cache_key(self) -> tuple:
+        """Process-wide factor-cache key of this engine's sparse LU."""
+        return self._key
 
     @property
     def is_factored(self) -> bool:
@@ -89,10 +112,14 @@ class FDDirectEngine:
                 self._lu = cached
                 return
         try:
-            lu = splu(self.assembly.matrix.tocsc())
+            # Equil=False keeps the factor reconstructible from components
+            # (see module docstring) so the factor plane can ship it
+            lu = splu(self.assembly.matrix.tocsc(), options={"Equil": False})
         except (RuntimeError, ValueError, MemoryError) as exc:
             raise RuntimeError(f"sparse LU factorisation failed: {exc}") from exc
         self._lu = lu
+        if self.stats is not None:
+            self.stats.record_factor_rebuild()
         if self.use_cache:
             factor_cache().put(self._key, lu)
 

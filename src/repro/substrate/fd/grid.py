@@ -84,7 +84,9 @@ class Grid3D:
     def n_nodes(self) -> int:
         return self.nx * self.ny * self.nz
 
-    def node_index(self, i: np.ndarray | int, j: np.ndarray | int, k: np.ndarray | int) -> np.ndarray | int:
+    def node_index(
+        self, i: np.ndarray | int, j: np.ndarray | int, k: np.ndarray | int
+    ) -> np.ndarray | int:
         """Flat node index with ordering ``k`` (slowest), ``i``, ``j`` (fastest)."""
         return (np.asarray(k) * self.nx + np.asarray(i)) * self.ny + np.asarray(j)
 

@@ -154,9 +154,19 @@ class FiniteDifferenceSolver(SubstrateSolver):
     def _ensure_direct_engine(self) -> FDDirectEngine:
         if self._direct_engine is None:
             self._direct_engine = FDDirectEngine(
-                self.assembly, use_cache=self.use_factor_cache
+                self.assembly, use_cache=self.use_factor_cache, stats=self.stats
             )
         return self._direct_engine
+
+    @property
+    def factor_cache_key(self) -> tuple:
+        """Process-wide factor-cache key of this solver's sparse LU.
+
+        The parallel engine's shared-memory factor plane publishes the
+        parent's factor under this key so worker processes attach instead of
+        refactoring.
+        """
+        return self._ensure_direct_engine().factor_cache_key
 
     def _expected_iterations(self) -> float | None:
         """Observed PCG convergence, or a per-preconditioner prior."""

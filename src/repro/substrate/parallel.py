@@ -28,10 +28,20 @@ Design points:
 * **Shared-memory result blocks.**  Result columns are written into one
   ``multiprocessing.shared_memory`` block instead of being pickled back
   (falling back to pickled returns where shared memory is unavailable).
+* **Shared-memory factor plane.**  With ``share_factors`` (the default) the
+  parent publishes its cached direct factor (dense BEM Cholesky / Schur /
+  bordered factors, the FD sparse-LU components) into
+  ``multiprocessing.shared_memory`` segments through a
+  :class:`~repro.substrate.factor_cache.FactorPlane`; every worker *attaches*
+  zero-copy views instead of refactoring, so the fleet holds one physical
+  copy of the factor no matter how many processes serve solves.  Workers
+  report ``n_factor_attaches`` / ``n_factor_rebuilds`` through the merged
+  :class:`~repro.substrate.solver_base.SolveStats` — a warm parent cache must
+  show zero per-worker rebuilds.  Segments are unlinked at ``close()``.
 * **Per-process factor caches.**  Each worker owns its own process-wide
-  :mod:`~repro.substrate.factor_cache`; passing ``prepare_direct=True`` warms
-  each worker's direct factorisation during pool start-up so timed extraction
-  measures solves, not factoring.
+  :mod:`~repro.substrate.factor_cache` (seeded by the plane's attachments);
+  passing ``prepare_direct=True`` warms the factorisation once in the parent
+  during pool start-up so timed extraction measures solves, not factoring.
 """
 
 from __future__ import annotations
@@ -45,6 +55,7 @@ import multiprocessing as mp
 import numpy as np
 
 from ..geometry.contact import ContactLayout
+from .factor_cache import FactorPlane, attach_shared_factor, factor_cache
 from .profile import SubstrateProfile
 from .solver_base import SolveStats, SubstrateSolver
 
@@ -134,18 +145,56 @@ _WORKER_SOLVER: SubstrateSolver | None = None
 #: (spawn/forkserver start a private resource tracker per worker; fork
 #: inherits the parent's, which owns the segment's registration)
 _WORKER_UNREGISTER_SHM = False
+#: live references to attached factor segments (the reconstructed factors
+#: borrow their buffers, so the segments must outlive the worker's cache)
+_WORKER_ATTACHED_SEGMENTS: list = []
+#: init-time factor provenance of this worker, reported once through the
+#: first solve shard's stats delta (init precedes any delta snapshot)
+_WORKER_FACTOR_COUNTS = {"attached": 0, "rebuilt": 0}
+_WORKER_FACTOR_REPORTED = False
 
 
 def _init_worker(
-    spec: SolverSpec, overrides: dict, prepare_direct: bool, unregister_shm: bool
+    spec: SolverSpec,
+    overrides: dict,
+    prepare_direct: bool,
+    unregister_shm: bool,
+    shared_handles: tuple = (),
 ) -> None:
-    global _WORKER_SOLVER, _WORKER_UNREGISTER_SHM
-    _WORKER_SOLVER = spec.build(**overrides)
+    global _WORKER_SOLVER, _WORKER_UNREGISTER_SHM, _WORKER_FACTOR_REPORTED
     _WORKER_UNREGISTER_SHM = unregister_shm
+    _WORKER_FACTOR_REPORTED = False
+    _WORKER_FACTOR_COUNTS["attached"] = 0
+    _WORKER_FACTOR_COUNTS["rebuilt"] = 0
+    # adopt the parent's published factors before any solver can factor:
+    # the cache hit below turns every worker's prepare into a zero-copy view
+    for handle in shared_handles:
+        try:
+            factor, segment = attach_shared_factor(handle, unregister=unregister_shm)
+        except Exception:
+            continue  # attach is an optimisation; the worker can still factor
+        _WORKER_ATTACHED_SEGMENTS.append(segment)
+        # nbytes=0: the pages are shared with every sibling, charging them
+        # against this worker's private cache budget would evict real entries
+        factor_cache().put(handle.key, factor, nbytes=0)
+        _WORKER_FACTOR_COUNTS["attached"] += 1
+    _WORKER_SOLVER = spec.build(**overrides)
     if prepare_direct:
         prepare = getattr(_WORKER_SOLVER, "prepare_direct", None)
         if prepare is not None:
             prepare()
+    stats = getattr(_WORKER_SOLVER, "stats", None)
+    if stats is not None:
+        _WORKER_FACTOR_COUNTS["rebuilt"] += stats.n_factor_rebuilds
+
+
+def _unreported_factor_counts() -> tuple[int, int]:
+    """Init-time (attached, rebuilt) counts, returned once per worker."""
+    global _WORKER_FACTOR_REPORTED
+    if _WORKER_FACTOR_REPORTED:
+        return 0, 0
+    _WORKER_FACTOR_REPORTED = True
+    return _WORKER_FACTOR_COUNTS["attached"], _WORKER_FACTOR_COUNTS["rebuilt"]
 
 
 def _solve_with_stats_delta(
@@ -167,6 +216,8 @@ def _solve_with_stats_delta(
         stats.n_direct_solves,
         stats.total_iterations,
         len(stats.iterations_per_solve),
+        stats.n_factor_attaches,
+        stats.n_factor_rebuilds,
     )
     out = solver.solve_many(v)
     stats = solver.stats
@@ -175,6 +226,8 @@ def _solve_with_stats_delta(
         n_direct_solves=stats.n_direct_solves - snap[1],
         total_iterations=stats.total_iterations - snap[2],
         iterations_per_solve=list(stats.iterations_per_solve[snap[3]:]),
+        n_factor_attaches=stats.n_factor_attaches - snap[4],
+        n_factor_rebuilds=stats.n_factor_rebuilds - snap[5],
     )
     return out, delta
 
@@ -190,6 +243,10 @@ def _solve_shard(
     """
     solver = _WORKER_SOLVER
     out, delta = _solve_with_stats_delta(solver, v_shard)
+    # fold this worker's init-time factor provenance into its first delta
+    attached, rebuilt = _unreported_factor_counts()
+    delta.n_factor_attaches += attached
+    delta.n_factor_rebuilds += rebuilt
     gauges = getattr(solver, "last_gauge_constants", None)
     width = v_shard.shape[1]
     if shm_name is not None:
@@ -243,16 +300,18 @@ def _default_context() -> mp.context.BaseContext:
     return mp.get_context("fork" if "fork" in methods else "spawn")
 
 
-def _rendezvous(barrier) -> bool:
+def _rendezvous(barrier) -> tuple[int, int]:
     """Hold one worker at a barrier until every worker has arrived.
 
     Each waiting worker occupies itself, so the pool cannot hand two
     rendezvous tasks to the same worker — by the time the barrier releases,
     every worker process has finished its (solver-building, possibly
-    factoring) initializer.
+    factoring) initializer.  Returns the worker's init-time factor
+    provenance ``(attached, rebuilt)`` — exactly one rendezvous runs per
+    worker, so the caller collects every worker's counts deterministically.
     """
     barrier.wait(timeout=600)
-    return True
+    return _unreported_factor_counts()
 
 
 class ParallelExtractor(SubstrateSolver):
@@ -267,8 +326,10 @@ class ParallelExtractor(SubstrateSolver):
         (or blocks too narrow to shard) the extractor solves inline on a
         private solver — no pool, no IPC.
     prepare_direct:
-        Warm each worker's direct factorisation (``prepare_direct()``) during
-        pool initialisation, so timed extraction measures solves only.
+        Warm the direct factorisation during pool initialisation, so timed
+        extraction measures solves only.  With ``share_factors`` the factor
+        is built **once in the parent** and published to the plane; without
+        it every worker runs its own ``prepare_direct()``.
     min_parallel_columns:
         Blocks narrower than this are solved inline; sharding two columns
         across processes costs more in IPC than it saves.
@@ -278,6 +339,12 @@ class ParallelExtractor(SubstrateSolver):
     start_method:
         Override the multiprocessing start method (default: ``"fork"`` where
         available, else ``"spawn"``).
+    share_factors:
+        Publish the parent's cached direct factor through a shared-memory
+        :class:`~repro.substrate.factor_cache.FactorPlane` so workers attach
+        zero-copy instead of refactoring (default on; ignored for ``"dense"``
+        specs, which have no factor).  Disable to benchmark per-worker
+        refactorisation.
     """
 
     def __init__(
@@ -288,6 +355,7 @@ class ParallelExtractor(SubstrateSolver):
         min_parallel_columns: int = 8,
         use_shared_memory: bool = True,
         start_method: str | None = None,
+        share_factors: bool = True,
     ) -> None:
         self.spec = spec
         self.layout = spec.layout
@@ -297,6 +365,7 @@ class ParallelExtractor(SubstrateSolver):
         self.prepare_direct = bool(prepare_direct)
         self.min_parallel_columns = int(min_parallel_columns)
         self.use_shared_memory = bool(use_shared_memory)
+        self.share_factors = bool(share_factors)
         self._context = (
             mp.get_context(start_method) if start_method else _default_context()
         )
@@ -306,12 +375,66 @@ class ParallelExtractor(SubstrateSolver):
         self.last_gauge_constants: np.ndarray | None = None
         self._pool: ProcessPoolExecutor | None = None
         self._local: SubstrateSolver | None = None
+        self._plane: FactorPlane | None = None
+        #: factor-cache keys published to the plane (diagnostics / tests)
+        self.published_factor_keys: list[tuple] = []
 
     # ---------------------------------------------------------------- plumbing
     def _worker_overrides(self) -> dict[str, Any]:
         # one process = one core: the stacked DCTs inside a worker must not
         # spawn a second level of threads (oversubscription)
         return {} if self.spec.kind == "dense" else {"fft_workers": 1}
+
+    def _parent_factor(self) -> tuple[tuple, Any] | None:
+        """The parent-held direct factor and its cache key, if one exists.
+
+        Prefers the factor object held by the local solver (no cache-counter
+        traffic); falls back to the process-wide cache.  With
+        ``prepare_direct`` the parent builds the factor here — once, for the
+        whole fleet — before the pool starts.
+        """
+        local = self._local_solver()
+        key = getattr(local, "factor_cache_key", None)
+        if key is None:
+            return None
+        if self.prepare_direct:
+            prepare = getattr(local, "prepare_direct", None)
+            if prepare is not None:
+                prepare()
+        factor = getattr(local, "_direct_factor", None)
+        if factor is None:
+            engine = getattr(local, "_direct_engine", None)
+            if engine is not None:
+                factor = engine._lu
+        if factor is None and factor_cache().contains(key):
+            factor = factor_cache().get(key)
+        if factor is None:
+            return None
+        return key, factor
+
+    def _export_factor_handles(self) -> tuple:
+        """Publish the parent's factor to a shared plane; returns the handles."""
+        if not self.share_factors or self.spec.kind == "dense":
+            return ()
+        if not self.spec.options.get("use_factor_cache", True):
+            # workers built with a disabled factor cache never consult it,
+            # so an attached payload could not reach them
+            return ()
+        held = self._parent_factor()
+        if held is None:
+            return ()
+        key, factor = held
+        plane = FactorPlane()
+        try:
+            handle = plane.publish(key, factor)
+        except (TypeError, OSError, ValueError):
+            # unshippable factor kind or no shared memory on this platform —
+            # workers fall back to their own factorisation
+            plane.unlink()
+            return ()
+        self._plane = plane
+        self.published_factor_keys = [key]
+        return (handle,)
 
     def _ensure_pool(self) -> ProcessPoolExecutor:
         if self._pool is None:
@@ -327,6 +450,7 @@ class ParallelExtractor(SubstrateSolver):
                     resource_tracker.ensure_running()
                 except Exception:
                     pass
+            handles = self._export_factor_handles()
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 mp_context=self._context,
@@ -336,6 +460,7 @@ class ParallelExtractor(SubstrateSolver):
                     self._worker_overrides(),
                     self.prepare_direct,
                     not fork,
+                    handles,
                 ),
             )
         return self._pool
@@ -354,7 +479,11 @@ class ParallelExtractor(SubstrateSolver):
         first timed block arrives.
         """
         if self.n_workers <= 1:
-            self._local_solver()
+            local = self._local_solver()
+            if self.prepare_direct:
+                prepare = getattr(local, "prepare_direct", None)
+                if prepare is not None:
+                    prepare()
             return
         pool = self._ensure_pool()
         with mp.Manager() as manager:
@@ -363,13 +492,20 @@ class ParallelExtractor(SubstrateSolver):
                 pool.submit(_rendezvous, barrier) for _ in range(self.n_workers)
             ]
             for fut in futures:
-                fut.result()
+                attached, rebuilt = fut.result()
+                self.stats.record_factor_attach(attached)
+                self.stats.record_factor_rebuild(rebuilt)
 
     def close(self) -> None:
-        """Shut the worker pool down (idempotent)."""
+        """Shut the worker pool down and unlink the factor plane (idempotent)."""
         if self._pool is not None:
             self._pool.shutdown(wait=True)
             self._pool = None
+        if self._plane is not None:
+            # workers are gone; remove the published segments so nothing
+            # leaks into /dev/shm past the extractor's lifetime
+            self._plane.unlink()
+            self._plane = None
 
     def __enter__(self) -> "ParallelExtractor":
         return self

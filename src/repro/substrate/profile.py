@@ -150,7 +150,10 @@ class SubstrateProfile:
         backplane (the trick the paper uses with QuickSub).
         """
         sigma_top = 1.0
-        layers = [Layer(0.5, sigma_top), Layer(38.5 if resistive_bottom else 39.5, 100.0 * sigma_top)]
+        layers = [
+            Layer(0.5, sigma_top),
+            Layer(38.5 if resistive_bottom else 39.5, 100.0 * sigma_top),
+        ]
         if resistive_bottom:
             layers.append(Layer(1.0, 0.1 * sigma_top))
             grounded_backplane = True

@@ -45,6 +45,11 @@ class SolveStats:
     n_direct_solves: int = 0
     total_iterations: int = 0
     iterations_per_solve: list[int] = field(default_factory=list)
+    #: factors this solver obtained by attaching to a shared-memory payload
+    #: published by another process (the parallel engine's factor plane)
+    n_factor_attaches: int = 0
+    #: factors this solver had to build from scratch (cold factorisation)
+    n_factor_rebuilds: int = 0
 
     def record(self, iterations: int) -> None:
         """Record one iterative solve and its Krylov iteration count."""
@@ -55,6 +60,14 @@ class SolveStats:
     def record_direct(self, n_solves: int = 1) -> None:
         """Record ``n_solves`` columns served by the direct (factored) path."""
         self.n_direct_solves += n_solves
+
+    def record_factor_attach(self, n: int = 1) -> None:
+        """Record ``n`` factors adopted zero-copy from a shared-memory plane."""
+        self.n_factor_attaches += n
+
+    def record_factor_rebuild(self, n: int = 1) -> None:
+        """Record ``n`` factors built locally (not served by a shared plane)."""
+        self.n_factor_rebuilds += n
 
     def merge(self, other: "SolveStats") -> "SolveStats":
         """Fold another stats object into this one; returns ``self``.
@@ -69,6 +82,8 @@ class SolveStats:
         self.n_direct_solves += other.n_direct_solves
         self.total_iterations += other.total_iterations
         self.iterations_per_solve.extend(other.iterations_per_solve)
+        self.n_factor_attaches += other.n_factor_attaches
+        self.n_factor_rebuilds += other.n_factor_rebuilds
         return self
 
     @property
@@ -91,6 +106,8 @@ class SolveStats:
             "n_direct_solves": self.n_direct_solves,
             "total_iterations": self.total_iterations,
             "mean_iterations": self.mean_iterations,
+            "n_factor_attaches": self.n_factor_attaches,
+            "n_factor_rebuilds": self.n_factor_rebuilds,
         }
 
 

@@ -85,9 +85,22 @@ def test_policy_cached_factor_prefers_direct_even_for_one_rhs():
 
 
 def test_policy_panel_ceiling_and_failure_force_iterative():
+    # above the dense ceiling, a wide block now lands on the tiled tier...
     policy = DispatchPolicy(max_direct_panels=100)
     assert (
         policy.choose(n_panels=101, n_rhs=512, grid_points=4096, grounded=True).path
+        == "tiled"
+    )
+    # ...unless the tiled tier is disabled, which restores pure iterative
+    policy = DispatchPolicy(max_direct_panels=100, max_tiled_panels=0)
+    assert (
+        policy.choose(n_panels=101, n_rhs=512, grid_points=4096, grounded=True).path
+        == "iterative"
+    )
+    # above *both* ceilings only the iterative path remains
+    policy = DispatchPolicy(max_direct_panels=100, max_tiled_panels=200)
+    assert (
+        policy.choose(n_panels=201, n_rhs=512, grid_points=4096, grounded=True).path
         == "iterative"
     )
     policy = DispatchPolicy()
@@ -95,8 +108,14 @@ def test_policy_panel_ceiling_and_failure_force_iterative():
         n_panels=64, n_rhs=512, grid_points=4096, grounded=True, factor_failed=True
     )
     assert d.path == "iterative"
-    # max_direct_panels=0 disables the direct path entirely
-    policy = DispatchPolicy(max_direct_panels=0)
+    # a failed A_cc Cholesky latches the tiled tier too (same matrix)
+    policy = DispatchPolicy(max_direct_panels=10)
+    d = policy.choose(
+        n_panels=64, n_rhs=512, grid_points=4096, grounded=True, factor_failed=True
+    )
+    assert d.path == "iterative"
+    # disabling both factored paths forces iterative everywhere
+    policy = DispatchPolicy(max_direct_panels=0, max_tiled_panels=0)
     assert (
         policy.choose(n_panels=64, n_rhs=512, grid_points=4096, grounded=True).path
         == "iterative"

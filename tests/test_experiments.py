@@ -1,6 +1,5 @@
 """Tests for the experiment configuration and runner module."""
 
-import numpy as np
 import pytest
 
 from repro.experiments import (

@@ -19,7 +19,6 @@ from repro import (
     FactorCache,
     SubstrateProfile,
     extract_dense,
-    factor_cache,
     factor_cache_clear,
     factor_cache_info,
     regular_grid,

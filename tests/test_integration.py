@@ -4,14 +4,12 @@ These exercise the whole pipeline the way a downstream user would, on sizes
 small enough for the exact dense reference to be available.
 """
 
-import numpy as np
 import pytest
 
 from repro import (
     CountingSolver,
     EigenfunctionSolver,
     SquareHierarchy,
-    SubstrateProfile,
     extract_dense,
 )
 from repro.analysis import evaluate_against_dense

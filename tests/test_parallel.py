@@ -76,6 +76,8 @@ def test_solve_stats_merge_empty_is_identity():
         "n_direct_solves": 0,
         "total_iterations": 4,
         "mean_iterations": 4.0,
+        "n_factor_attaches": 0,
+        "n_factor_rebuilds": 0,
     }
 
 

@@ -12,7 +12,7 @@ from repro import (
     extract_dense,
 )
 from repro.core.sparsified import SparsifiedConductance
-from repro.geometry import Contact, ContactLayout, SquareHierarchy, regular_grid
+from repro.geometry import Contact, SquareHierarchy, regular_grid
 
 
 @settings(max_examples=30, deadline=None)

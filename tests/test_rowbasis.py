@@ -3,7 +3,7 @@
 import numpy as np
 import pytest
 
-from repro import CountingSolver, DenseMatrixSolver, SquareHierarchy
+from repro import CountingSolver, DenseMatrixSolver
 from repro.geometry import two_square_clusters
 from repro.analysis import max_relative_error
 from repro.core.rowbasis import MultilevelRowBasis, interaction_singular_values

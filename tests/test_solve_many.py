@@ -15,7 +15,6 @@ from repro import (
     CountingSolver,
     DenseMatrixSolver,
     EigenfunctionSolver,
-    SquareHierarchy,
     SubstrateProfile,
     extract_columns,
     extract_dense,

@@ -1,0 +1,254 @@
+"""Tests for the tiled (out-of-core) direct engine.
+
+``TiledCholeskyFactor`` must agree with an in-core dense Cholesky to
+round-off, in RAM and when spilled to a memmapped scratch file, and the
+eigenfunction solver's ``"tiled"`` dispatch path must extract the same ``G``
+as the in-core direct engine above ``max_direct_panels`` — including the
+floating-backplane (Schur/bordered) case.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+from scipy.linalg import LinAlgError
+
+from repro import (
+    DispatchPolicy,
+    EigenfunctionSolver,
+    SubstrateProfile,
+    TiledCholeskyFactor,
+    extract_dense,
+    regular_grid,
+)
+from repro.substrate.dispatch import SolveCostModel
+
+
+@pytest.fixture(scope="module")
+def tiny_layout():
+    return regular_grid(n_side=4, size=64.0, fill=0.5)
+
+
+def _profile(grounded: bool = True) -> SubstrateProfile:
+    return SubstrateProfile.two_layer_example(size=64.0, grounded_backplane=grounded)
+
+
+def _spd(n: int, seed: int = 0) -> np.ndarray:
+    rng = np.random.default_rng(seed)
+    a = rng.standard_normal((n, n))
+    return a @ a.T + n * np.eye(n)
+
+
+def _factor_from(a: np.ndarray, **kwargs) -> TiledCholeskyFactor:
+    tf = TiledCholeskyFactor(a.shape[0], **kwargs)
+    return tf.factor(lambda lo, hi: a[lo:hi])
+
+
+# ------------------------------------------------------------------ raw engine
+@pytest.mark.parametrize("tile", [7, 16, 64, 1024])
+def test_tiled_cholesky_matches_dense_solve(tile):
+    """Tile edges that divide, straddle and exceed the matrix dimension."""
+    a = _spd(45)
+    rng = np.random.default_rng(1)
+    b = rng.standard_normal((45, 3))
+    tf = _factor_from(a, tile=tile)
+    assert not tf.spilled
+    ref = np.linalg.solve(a, b)
+    assert np.abs(tf.solve(b) - ref).max() <= 1e-10 * np.abs(ref).max()
+    tf.close()
+
+
+def test_tiled_cholesky_spills_and_cleans_scratch():
+    a = _spd(33, seed=2)
+    b = np.linspace(0.0, 1.0, 33)
+    tf = _factor_from(a, tile=8, spill_over_bytes=0)
+    assert tf.spilled
+    path = tf.scratch_path
+    assert path is not None and os.path.exists(path)
+    ref = np.linalg.solve(a, b)
+    assert np.abs(tf.solve(b) - ref).max() <= 1e-10 * np.abs(ref).max()
+    tf.close()
+    assert not os.path.exists(path)
+    tf.close()  # idempotent
+
+
+def test_tiled_cholesky_rejects_non_spd():
+    a = -np.eye(12)
+    with pytest.raises(LinAlgError):
+        _factor_from(a, tile=5)
+
+
+def test_tiled_factor_validates_inputs():
+    with pytest.raises(ValueError):
+        TiledCholeskyFactor(0)
+    with pytest.raises(ValueError):
+        TiledCholeskyFactor(4, tile=0)
+    tf = _factor_from(_spd(6), tile=4)
+    with pytest.raises(ValueError):
+        tf.solve(np.zeros(7))
+    tf.close()
+    with pytest.raises(RuntimeError):
+        tf.solve(np.zeros(6))
+
+
+def test_unfactored_solve_raises():
+    tf = TiledCholeskyFactor(5, tile=2)
+    with pytest.raises(RuntimeError):
+        tf.solve(np.zeros(5))
+    tf.close()
+
+
+# --------------------------------------------------------------- dispatch tier
+def test_cost_model_tiled_is_direct_plus_io_penalty():
+    model = SolveCostModel()
+    direct = model.direct_cost(512, 64, 4096, factor_cached=False, grounded=True)
+    tiled = model.tiled_cost(512, 64, 4096, factor_cached=False, grounded=True)
+    assert tiled > direct
+    # with the factor amortised both collapse to the per-column solves ratio
+    d2 = model.direct_cost(512, 64, 4096, factor_cached=True, grounded=True)
+    t2 = model.tiled_cost(512, 64, 4096, factor_cached=True, grounded=True)
+    assert t2 == pytest.approx(d2 * model.tiled_io_unit)
+
+
+def test_policy_routes_tiled_only_above_direct_ceiling():
+    policy = DispatchPolicy(max_direct_panels=4096)
+    d = policy.choose(n_panels=1024, n_rhs=512, grid_points=4096, grounded=True)
+    assert d.path == "direct"  # in-core always wins below the ceiling
+    policy = DispatchPolicy(max_direct_panels=512)
+    d = policy.choose(n_panels=1024, n_rhs=512, grid_points=4096, grounded=True)
+    assert d.path == "tiled"
+    assert d.direct_cost is not None and d.iterative_cost is not None
+    # narrow blocks on a cold tiled factor are not worth factoring for
+    d = policy.choose(n_panels=1024, n_rhs=1, grid_points=4096, grounded=True)
+    assert d.path == "iterative"
+    # ...but a held tiled factor serves even a single column
+    d = policy.choose(
+        n_panels=1024, n_rhs=1, grid_points=4096, grounded=True,
+        tiled_factor_cached=True,
+    )
+    assert d.path == "tiled"
+    assert d.reason == "cached tiled factor"
+
+
+def test_policy_forced_tiled_runs_below_the_ceiling_too():
+    policy = DispatchPolicy(force_path="tiled")
+    d = policy.choose(n_panels=64, n_rhs=4, grid_points=4096, grounded=True)
+    assert d.path == "tiled"
+    capped = DispatchPolicy(force_path="tiled", max_tiled_panels=10)
+    d = capped.choose(n_panels=64, n_rhs=4, grid_points=4096, grounded=True)
+    assert d.path == "iterative"
+
+
+def test_solver_max_direct_panels_zero_still_means_iterative_only(tiny_layout):
+    # the policy itself resolves the shorthand: no tiled back door
+    assert DispatchPolicy(max_direct_panels=0).max_tiled_panels == 0
+    assert DispatchPolicy(max_direct_panels=0, max_tiled_panels=64).max_tiled_panels == 64
+    solver = EigenfunctionSolver(
+        tiny_layout, _profile(), max_panels=32, max_direct_panels=0, fft_workers=1
+    )
+    solver.solve_many(np.eye(tiny_layout.n_contacts))
+    assert solver.last_dispatch.path == "iterative"
+    assert solver.stats.n_direct_solves == 0
+
+
+# ----------------------------------------------------------- solver tiled path
+@pytest.mark.parametrize("grounded", [True, False], ids=["grounded", "floating"])
+def test_tiled_extraction_matches_direct(tiny_layout, grounded):
+    """The acceptance gate: above max_direct_panels the tiled path extracts
+    an identical G — including the floating (Schur-complement) case."""
+    kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False)
+    ref = EigenfunctionSolver(
+        tiny_layout, _profile(grounded),
+        dispatch=DispatchPolicy(force_path="direct"), **kwargs,
+    )
+    g_ref = extract_dense(ref)
+    ncp = ref.grid.n_contact_panels
+    tiled = EigenfunctionSolver(
+        tiny_layout, _profile(grounded),
+        dispatch=DispatchPolicy(max_direct_panels=ncp // 2),
+        tile_panels=48, **kwargs,
+    )
+    g_tiled = extract_dense(tiled)
+    assert tiled.last_dispatch.path == "tiled"
+    assert tiled.stats.n_direct_solves == tiny_layout.n_contacts
+    assert tiled.stats.n_factor_rebuilds == 1
+    scale = np.abs(g_ref).max()
+    assert np.abs(g_tiled - g_ref).max() <= 1e-10 * scale
+    tiled.close_tiled()
+    tiled.close_tiled()  # idempotent
+
+
+def test_tiled_gauge_constants_match_direct(tiny_layout):
+    kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False)
+    ref = EigenfunctionSolver(
+        tiny_layout, _profile(False),
+        dispatch=DispatchPolicy(force_path="direct"), **kwargs,
+    )
+    v = np.eye(tiny_layout.n_contacts)
+    ref.solve_many(v)
+    gauges_ref = ref.last_gauge_constants
+    tiled = EigenfunctionSolver(
+        tiny_layout, _profile(False),
+        dispatch=DispatchPolicy(force_path="tiled"), tile_panels=48, **kwargs,
+    )
+    tiled.solve_many(v)
+    assert tiled.last_gauge_constants is not None
+    scale = np.abs(gauges_ref).max()
+    assert np.abs(tiled.last_gauge_constants - gauges_ref).max() <= 1e-10 * scale
+
+
+def test_tiled_spilled_extraction_matches(tiny_layout):
+    """Forcing the scratch file (spill_over_bytes=0) changes storage, not
+    results."""
+    kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False)
+    ref = EigenfunctionSolver(
+        tiny_layout, _profile(),
+        dispatch=DispatchPolicy(force_path="direct"), **kwargs,
+    )
+    g_ref = extract_dense(ref)
+    tiled = EigenfunctionSolver(
+        tiny_layout, _profile(),
+        dispatch=DispatchPolicy(force_path="tiled"),
+        tile_panels=32, tiled_spill_bytes=0, **kwargs,
+    )
+    g_tiled = extract_dense(tiled)
+    assert tiled._tiled_factor[1].spilled
+    scratch = tiled._tiled_factor[1].scratch_path
+    assert scratch is not None and os.path.exists(scratch)
+    assert np.abs(g_tiled - g_ref).max() <= 1e-10 * np.abs(g_ref).max()
+    tiled.close_tiled()
+    assert not os.path.exists(scratch)
+
+
+def test_prepare_tiled_warm_then_solve_reuses_factor(tiny_layout):
+    solver = EigenfunctionSolver(
+        tiny_layout, _profile(), max_panels=32, rtol=1e-10, fft_workers=1,
+        dispatch=DispatchPolicy(force_path="tiled"), use_factor_cache=False,
+    )
+    assert solver.prepare_tiled()
+    assert solver.stats.n_factor_rebuilds == 1
+    solver.solve_many(np.eye(tiny_layout.n_contacts))
+    assert solver.stats.n_factor_rebuilds == 1  # no second factorisation
+
+
+# -------------------------------------------------------------- sparse probe
+def test_sparse_auto_tune_probe_runs_once_and_clamps():
+    policy = DispatchPolicy(auto_tune=True)
+    factor_unit, iter_units = policy.auto_tune_sparse_probe()
+    assert 0.5 <= factor_unit <= 500.0
+    assert 5.0 <= iter_units <= 2000.0
+    assert policy.cost_model.sparse_factor_unit == factor_unit
+    assert policy.cost_model.fd_iteration_units == iter_units
+    marker = (-1.0, -2.0)
+    policy.cost_model.sparse_factor_unit = marker[0]
+    policy.cost_model.fd_iteration_units = marker[1]
+    assert policy.auto_tune_sparse_probe() == marker  # second probe is a no-op
+
+
+def test_choose_sparse_triggers_probe_when_auto_tune():
+    policy = DispatchPolicy(auto_tune=True)
+    assert not policy._sparse_tuned
+    policy.choose_sparse(n_nodes=1000, n_rhs=16)
+    assert policy._sparse_tuned
