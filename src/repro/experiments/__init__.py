@@ -10,6 +10,7 @@ from .runner import (
     run_method_comparison,
     run_parallel_extraction_experiment,
     run_preconditioner_table,
+    run_service_experiment,
     run_solver_speed_table,
     run_wavelet_experiment,
     singular_value_decay_experiment,
@@ -30,5 +31,6 @@ __all__ = [
     "run_dispatch_experiment",
     "run_factor_plane_experiment",
     "run_parallel_extraction_experiment",
+    "run_service_experiment",
     "singular_value_decay_experiment",
 ]

@@ -38,6 +38,7 @@ __all__ = [
     "run_dispatch_experiment",
     "run_factor_plane_experiment",
     "run_parallel_extraction_experiment",
+    "run_service_experiment",
     "singular_value_decay_experiment",
 ]
 
@@ -797,6 +798,200 @@ def run_factor_plane_experiment(
     for record in results:
         record["cpu_count"] = int(os.cpu_count() or 1)
     return results
+
+
+def run_service_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    n_clients: int = 8,
+    columns_per_client: int | None = None,
+    n_workers: int | None = None,
+    http_clients: int = 2,
+    coalesce_window_s: float = 0.05,
+    seed: int = 0,
+) -> dict:
+    """Extraction service (coalesced) versus one-solver-per-request clients.
+
+    ``n_clients`` concurrent clients each want a random sample of ``G``
+    columns drawn from a shared half of the contacts (heavy overlap — the
+    workload the service exists for).  Two arms are timed wall-clock:
+
+    * **baseline** — every client builds its *own* solver (factor cache
+      disabled, emulating independent processes: the pre-service status quo
+      where each caller constructs solvers by hand) and extracts its columns
+      through a :class:`~repro.substrate.solver_base.CountingSolver`;
+    * **service** — the same clients submit
+      :class:`~repro.service.jobs.JobRequest` jobs to one
+      :class:`~repro.service.scheduler.Scheduler`, which coalesces them over
+      the shared substrate fingerprint, solves only the union of fresh
+      columns on a persistent warm engine, and serves overlaps from the
+      :class:`~repro.service.result_store.ResultStore`.
+
+    The baseline extractions double as the isolated references for the
+    agreement gate.  A repeated query afterwards must be served entirely
+    from the result store (zero new solves), and an ``http_clients``-client
+    round trip through the real :class:`~repro.service.server.ExtractionServer`
+    checks the wire path end to end.  This is the experiment behind
+    ``BENCH_service.json``.
+    """
+    import os
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..geometry.layouts import regular_grid
+    from ..service import ExtractionServer, JobRequest, Scheduler, ServiceClient
+    from ..substrate.parallel import SolverSpec
+    from ..substrate.profile import SubstrateProfile
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profile = SubstrateProfile.two_layer_example(size=size, resistive_bottom=True)
+    n = layout.n_contacts
+    if columns_per_client is None:
+        columns_per_client = max(2, n // 4)
+    spec = SolverSpec.bem(layout, profile, max_panels=max_panels, rtol=rtol)
+    baseline_spec = SolverSpec.bem(
+        layout, profile, max_panels=max_panels, rtol=rtol, use_factor_cache=False
+    )
+
+    # overlapping workload: every client samples from the same half of the
+    # contacts, so cross-request coalescing has real work to share
+    rng = np.random.default_rng(seed)
+    pool = np.sort(rng.choice(n, size=max(columns_per_client, n // 2), replace=False))
+    client_columns = [
+        tuple(
+            int(c)
+            for c in np.sort(rng.choice(pool, size=columns_per_client, replace=False))
+        )
+        for _ in range(n_clients)
+    ]
+    union = sorted({c for cols in client_columns for c in cols})
+
+    # --- baseline: one fresh solver per concurrent request ------------------
+    baseline_results: list[np.ndarray | None] = [None] * n_clients
+    baseline_counts = [0] * n_clients
+
+    def baseline_client(i: int) -> None:
+        counting = CountingSolver(baseline_spec.build())
+        baseline_results[i] = extract_columns(
+            counting, np.asarray(client_columns[i], dtype=int)
+        )
+        baseline_counts[i] = counting.solve_count
+
+    start = time.perf_counter()
+    with ThreadPoolExecutor(max_workers=n_clients) as executor:
+        list(executor.map(baseline_client, range(n_clients)))
+    baseline_s = time.perf_counter() - start
+    scale = float(max(np.abs(g).max() for g in baseline_results))
+
+    # --- service: coalesced jobs against one scheduler ----------------------
+    record: dict = {
+        "n_side": int(n_side),
+        "n_contacts": int(n),
+        "n_clients": int(n_clients),
+        "columns_per_client": int(columns_per_client),
+        "union_columns": len(union),
+        "baseline_s": float(baseline_s),
+        "baseline_counts": [int(c) for c in baseline_counts],
+    }
+    with Scheduler(
+        n_workers=n_workers, coalesce_window_s=coalesce_window_s
+    ) as scheduler:
+        service_results: list[np.ndarray | None] = [None] * n_clients
+        service_status: list[str] = ["?"] * n_clients
+
+        def service_client(i: int) -> None:
+            job_id = scheduler.submit(JobRequest(spec, columns=client_columns[i]))
+            job = scheduler.result(job_id, wait_s=600.0)
+            service_status[i] = job.status
+            service_results[i] = job.result
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as executor:
+            list(executor.map(service_client, range(n_clients)))
+        service_s = time.perf_counter() - start
+
+        diffs = [
+            float(np.abs(service_results[i] - baseline_results[i]).max() / scale)
+            if service_results[i] is not None
+            else float("inf")
+            for i in range(n_clients)
+        ]
+        stats_after = scheduler.stats()
+
+        # --- repeated query: must be served from the store, zero new solves -
+        solved_before_repeat = scheduler.metrics.columns_solved
+        job = scheduler.result(
+            scheduler.submit(JobRequest(spec, columns=client_columns[0])),
+            wait_s=600.0,
+        )
+        repeat_diff = (
+            float(np.abs(job.result - baseline_results[0]).max() / scale)
+            if job.result is not None
+            else float("inf")
+        )
+        record.update(
+            {
+                "service_s": float(service_s),
+                "throughput_speedup": float(baseline_s / service_s),
+                "service_status": service_status,
+                "max_abs_diff_rel": float(max(diffs)),
+                "columns_solved": int(stats_after["coalescing"]["columns_solved"]),
+                "columns_from_store": int(
+                    stats_after["coalescing"]["columns_from_store"]
+                ),
+                "batches": int(stats_after["coalescing"]["batches"]),
+                "attributed_solves": int(scheduler.attributed_solves),
+                "latency_s": stats_after["latency_s"],
+                "solve_stats": stats_after["solve_stats"],
+                "result_store": stats_after["result_store"],
+                "repeat": {
+                    "status": job.status,
+                    "new_solves": int(
+                        scheduler.metrics.columns_solved - solved_before_repeat
+                    ),
+                    "max_abs_diff_rel": repeat_diff,
+                },
+            }
+        )
+
+    # --- HTTP round trip through the real server ----------------------------
+    if http_clients > 0:
+        with ExtractionServer(
+            n_workers=n_workers, coalesce_window_s=coalesce_window_s
+        ) as server:
+            client = ServiceClient(server.url, timeout_s=600.0)
+            http_results: list[np.ndarray | None] = [None] * http_clients
+
+            def http_client(i: int) -> None:
+                http_results[i] = client.extract(
+                    JobRequest(spec, columns=client_columns[i % n_clients]),
+                    timeout_s=600.0,
+                )
+
+            with ThreadPoolExecutor(max_workers=http_clients) as executor:
+                list(executor.map(http_client, range(http_clients)))
+            http_union = sorted(
+                {c for cols in client_columns[:http_clients] for c in cols}
+            )
+            http_stats = client.stats()
+            record["http"] = {
+                "clients": int(http_clients),
+                "healthz_ok": bool(client.healthz()["ok"]),
+                "union_columns": len(http_union),
+                "columns_solved": int(http_stats["coalescing"]["columns_solved"]),
+                "batches": int(http_stats["coalescing"]["batches"]),
+                "max_abs_diff_rel": float(
+                    max(
+                        np.abs(http_results[i] - baseline_results[i % n_clients]).max()
+                        / scale
+                        for i in range(http_clients)
+                    )
+                ),
+            }
+    record["cpu_count"] = int(os.cpu_count() or 1)
+    return record
 
 
 def singular_value_decay_experiment(

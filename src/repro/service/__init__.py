@@ -1,0 +1,51 @@
+"""Long-running extraction service: scheduler, result store, HTTP front end.
+
+The engines of PRs 1-4 (batched ``solve_many``, adaptive dispatch, the
+factor cache/plane, process-parallel extraction, the tiled direct path) made
+a *single* extraction fast; this package amortises work **across requests**.
+A persistent :class:`~repro.service.scheduler.Scheduler` owns the expensive
+state — warm :class:`~repro.substrate.parallel.ParallelExtractor` engines
+with published shared-memory factors, and a
+:class:`~repro.service.result_store.ResultStore` of solved ``G`` columns —
+and serves many small :class:`~repro.service.jobs.JobRequest` jobs against
+it, coalescing concurrent requests over the same substrate fingerprint into
+shared ``solve_many`` blocks.  :mod:`~repro.service.server` adds a stdlib
+HTTP/JSON front end plus a blocking client, and
+:mod:`~repro.service.metrics` aggregates the operational counters behind the
+``/stats`` endpoint.
+
+Quickstart::
+
+    from repro.service import ExtractionServer, JobRequest, ServiceClient
+    from repro.substrate.parallel import SolverSpec
+
+    with ExtractionServer() as server:           # scheduler + HTTP, ephemeral port
+        client = ServiceClient(server.url)
+        spec = SolverSpec.bem(layout, profile)
+        g_cols = client.extract(JobRequest(spec, columns=(0, 5, 9)))
+
+or in-process, without HTTP::
+
+    from repro.service import Scheduler
+    with Scheduler() as scheduler:
+        job_id = scheduler.submit(JobRequest(spec, columns=(0, 5, 9)))
+        job = scheduler.result(job_id, wait_s=60.0)
+"""
+
+from .jobs import Job, JobRequest, JobState
+from .metrics import ServiceMetrics
+from .result_store import ResultStore
+from .scheduler import ExtractorPool, Scheduler
+from .server import ExtractionServer, ServiceClient
+
+__all__ = [
+    "Job",
+    "JobRequest",
+    "JobState",
+    "ServiceMetrics",
+    "ResultStore",
+    "ExtractorPool",
+    "Scheduler",
+    "ExtractionServer",
+    "ServiceClient",
+]

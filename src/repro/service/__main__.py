@@ -1,0 +1,6 @@
+"""``python -m repro.service`` — run the extraction service CLI."""
+
+from .server import main
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,188 @@
+"""Job descriptions for the extraction service.
+
+A :class:`JobRequest` is the unit of work a client submits to the
+:class:`~repro.service.scheduler.Scheduler`: a picklable
+:class:`~repro.substrate.parallel.SolverSpec` naming the substrate and solver
+configuration, plus *what* the client wants out of the conductance matrix —
+whole columns of ``G``, individual ``(row, column)`` entries, or the full
+dense matrix — and scheduling metadata (priority, per-job timeout, an
+optional solve-tolerance override folded into the spec).
+
+The request's :attr:`~JobRequest.fingerprint` is the coalescing key: requests
+with equal fingerprints describe the *same* black box (same physics, same
+discretisation, same tolerance), so the scheduler batches their right-hand
+sides into shared ``solve_many`` blocks and serves overlapping columns from
+the :class:`~repro.service.result_store.ResultStore` without re-solving.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Any
+
+import numpy as np
+
+from ..substrate.parallel import SolverSpec
+
+__all__ = ["JobRequest", "JobState", "Job"]
+
+#: terminal and non-terminal states a job moves through
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled", "timeout")
+
+
+class JobState:
+    """Namespace of the job lifecycle states (plain strings on the wire)."""
+
+    PENDING = "pending"
+    RUNNING = "running"
+    DONE = "done"
+    FAILED = "failed"
+    CANCELLED = "cancelled"
+    TIMEOUT = "timeout"
+
+    #: states from which a job can no longer change
+    TERMINAL = (DONE, FAILED, CANCELLED, TIMEOUT)
+
+
+@dataclass(frozen=True)
+class JobRequest:
+    """Picklable description of one extraction request.
+
+    Parameters
+    ----------
+    spec:
+        Recipe for the substrate solver that defines the conductance matrix.
+    columns:
+        Contact indices whose ``G`` columns are wanted.  ``None`` together
+        with ``pairs=None`` means the full dense matrix (all columns).
+    pairs:
+        Individual ``(row, column)`` conductance entries.  Served from the
+        same solved columns as ``columns`` requests — a pair only costs a
+        solve if nobody has asked for its column before.
+    tolerance:
+        Optional solver ``rtol`` override.  Folded into the spec's options,
+        so two requests at different tolerances have different fingerprints
+        and are never coalesced.
+    priority:
+        Larger runs earlier when the scheduler drains its queue.
+    timeout_s:
+        Deadline (seconds since submission) for the job to *start* solving;
+        jobs still queued past it are failed with the ``"timeout"`` status.
+    """
+
+    spec: SolverSpec
+    columns: tuple[int, ...] | None = None
+    pairs: tuple[tuple[int, int], ...] | None = None
+    tolerance: float | None = None
+    priority: int = 0
+    timeout_s: float | None = None
+
+    def __post_init__(self) -> None:
+        n = self.spec.layout.n_contacts
+        if self.columns is not None:
+            cols = tuple(int(c) for c in self.columns)
+            if not cols:
+                raise ValueError("columns must be non-empty when given")
+            if any(not 0 <= c < n for c in cols):
+                raise ValueError(f"column indices must lie in [0, {n})")
+            object.__setattr__(self, "columns", cols)
+        if self.pairs is not None:
+            pairs = tuple((int(i), int(j)) for i, j in self.pairs)
+            if not pairs:
+                raise ValueError("pairs must be non-empty when given")
+            if any(not (0 <= i < n and 0 <= j < n) for i, j in pairs):
+                raise ValueError(f"pair indices must lie in [0, {n})")
+            object.__setattr__(self, "pairs", pairs)
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError("timeout_s must be positive when given")
+
+    # ----------------------------------------------------------------- derived
+    @property
+    def effective_spec(self) -> SolverSpec:
+        """The spec actually built, with the tolerance override applied."""
+        if self.tolerance is None:
+            return self.spec
+        return replace(
+            self.spec, options={**self.spec.options, "rtol": float(self.tolerance)}
+        )
+
+    @property
+    def fingerprint(self) -> tuple:
+        """Coalescing key: the effective spec's substrate/solver identity.
+
+        Cached on the (frozen) request: with a tolerance override,
+        ``effective_spec`` builds a fresh spec per access, which would
+        otherwise redo the fingerprint work on every drain cycle.
+        """
+        cached = getattr(self, "_fingerprint", None)
+        if cached is None:
+            cached = self.effective_spec.fingerprint
+            object.__setattr__(self, "_fingerprint", cached)
+        return cached
+
+    @property
+    def n_contacts(self) -> int:
+        return self.spec.layout.n_contacts
+
+    def needed_columns(self) -> tuple[int, ...]:
+        """Sorted, de-duplicated column indices this request depends on."""
+        if self.columns is None and self.pairs is None:
+            return tuple(range(self.n_contacts))
+        needed: set[int] = set(self.columns or ())
+        needed.update(j for _, j in self.pairs or ())
+        return tuple(sorted(needed))
+
+
+@dataclass
+class Job:
+    """Scheduler-side record of one submitted request (not picklable).
+
+    ``result`` is the ``(n_contacts, len(result_columns))`` block of solved
+    ``G`` columns (``result_columns`` is ``request.columns``, or all contacts
+    for a dense request); ``pair_values`` aligns with ``request.pairs``.
+    """
+
+    job_id: str
+    request: JobRequest
+    submitted_at: float
+    priority: int = 0
+    status: str = JobState.PENDING
+    started_at: float | None = None
+    finished_at: float | None = None
+    error: str | None = None
+    result: np.ndarray | None = None
+    result_columns: tuple[int, ...] | None = None
+    pair_values: np.ndarray | None = None
+    #: set once the job reaches a terminal state (clients block on it)
+    done_event: Any = field(default=None, repr=False)
+
+    @property
+    def deadline(self) -> float | None:
+        if self.request.timeout_s is None:
+            return None
+        return self.submitted_at + self.request.timeout_s
+
+    @property
+    def latency_s(self) -> float | None:
+        if self.finished_at is None:
+            return None
+        return self.finished_at - self.submitted_at
+
+    def snapshot(self) -> dict:
+        """JSON-compatible view of the job (arrays as nested lists)."""
+        return {
+            "job_id": self.job_id,
+            "status": self.status,
+            "priority": self.priority,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "latency_s": self.latency_s,
+            "error": self.error,
+            "columns": list(self.result_columns) if self.result_columns else None,
+            "result": self.result.tolist() if self.result is not None else None,
+            "pairs": [list(p) for p in self.request.pairs] if self.request.pairs else None,
+            "pair_values": (
+                self.pair_values.tolist() if self.pair_values is not None else None
+            ),
+        }

@@ -1,0 +1,161 @@
+"""Aggregated operational metrics of the extraction service.
+
+One :class:`ServiceMetrics` instance rides along with each
+:class:`~repro.service.scheduler.Scheduler` and folds together everything an
+operator (or the ``/stats`` endpoint) wants in one snapshot:
+
+* job lifecycle counters (submitted / done / failed / cancelled / timed out)
+  and end-to-end latency percentiles over a bounded recent window;
+* coalescing counters — how many batches ran, how many jobs shared a batch,
+  and where the columns came from (fresh solves vs. the
+  :class:`~repro.service.result_store.ResultStore`);
+* the merged :class:`~repro.substrate.solver_base.SolveStats` of every solve
+  the scheduler ran (iterative/direct split, factor attach/rebuild
+  provenance), via the same ``merge`` contract the parallel engine uses;
+* the process-wide factor-cache counters
+  (:func:`~repro.substrate.factor_cache.factor_cache_info`).
+
+All methods are thread-safe; the scheduler's dispatcher, the HTTP handler
+threads and test code may record and snapshot concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+
+import numpy as np
+
+from ..substrate.factor_cache import factor_cache_info
+from ..substrate.solver_base import SolveStats
+
+__all__ = ["ServiceMetrics", "latency_percentiles"]
+
+#: latency window length: large enough for stable percentiles, small enough
+#: that a long-lived service never grows without bound
+DEFAULT_WINDOW = 1024
+
+
+def latency_percentiles(
+    latencies: "deque[float] | list[float]",
+    percentiles: tuple[float, ...] = (50.0, 90.0, 99.0),
+) -> dict[str, float | None]:
+    """``{"p50": ..., "p90": ..., "p99": ...}`` over the recent window."""
+    out: dict[str, float | None] = {}
+    values = np.asarray(latencies, dtype=float)
+    for p in percentiles:
+        key = f"p{p:g}"
+        out[key] = float(np.percentile(values, p)) if values.size else None
+    return out
+
+
+class ServiceMetrics:
+    """Thread-safe counters + latency window for one scheduler."""
+
+    def __init__(self, window: int = DEFAULT_WINDOW) -> None:
+        self._lock = threading.RLock()
+        self.started_at = time.monotonic()
+        self.jobs_submitted = 0
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        self.jobs_cancelled = 0
+        self.jobs_timeout = 0
+        #: coalescing bookkeeping
+        self.batches = 0
+        self.batch_jobs = 0  # jobs served across all batches
+        self.coalesced_jobs = 0  # jobs that shared a batch with at least one other
+        self.columns_requested = 0  # union size per batch, summed
+        self.columns_solved = 0  # columns that actually hit the solver
+        self.columns_from_store = 0  # columns served by the ResultStore
+        #: merged solve statistics of everything the scheduler ran
+        self.solve_stats = SolveStats()
+        self._latencies: "deque[float]" = deque(maxlen=int(window))
+
+    # ------------------------------------------------------------- recording
+    def record_submit(self, n: int = 1) -> None:
+        with self._lock:
+            self.jobs_submitted += n
+
+    def record_outcome(self, status: str, latency_s: float | None = None) -> None:
+        """Count one terminal job transition and its end-to-end latency."""
+        with self._lock:
+            if status == "done":
+                self.jobs_done += 1
+            elif status == "failed":
+                self.jobs_failed += 1
+            elif status == "cancelled":
+                self.jobs_cancelled += 1
+            elif status == "timeout":
+                self.jobs_timeout += 1
+            if latency_s is not None:
+                self._latencies.append(float(latency_s))
+
+    def record_batch(
+        self,
+        n_jobs: int,
+        n_columns_requested: int,
+        n_columns_solved: int,
+        n_columns_from_store: int,
+        stats_delta: SolveStats | None = None,
+    ) -> None:
+        """Account one coalesced solve batch."""
+        with self._lock:
+            self.batches += 1
+            self.batch_jobs += n_jobs
+            if n_jobs > 1:
+                self.coalesced_jobs += n_jobs
+            self.columns_requested += n_columns_requested
+            self.columns_solved += n_columns_solved
+            self.columns_from_store += n_columns_from_store
+            if stats_delta is not None:
+                self.solve_stats.merge(stats_delta)
+                # merge() extends the per-solve iteration list; a service
+                # runs for months, so keep only a bounded recent history
+                # (the aggregate totals behind mean_iterations are exact)
+                del self.solve_stats.iterations_per_solve[: -8 * DEFAULT_WINDOW]
+
+    # ------------------------------------------------------------- snapshots
+    def snapshot(
+        self,
+        queue_depth: int | None = None,
+        store_info: dict | None = None,
+        extra: dict | None = None,
+    ) -> dict:
+        """One JSON-compatible view of every counter this service tracks."""
+        with self._lock:
+            doc: dict = {
+                "uptime_s": time.monotonic() - self.started_at,
+                "jobs": {
+                    "submitted": self.jobs_submitted,
+                    "done": self.jobs_done,
+                    "failed": self.jobs_failed,
+                    "cancelled": self.jobs_cancelled,
+                    "timeout": self.jobs_timeout,
+                    "pending": (
+                        self.jobs_submitted
+                        - self.jobs_done
+                        - self.jobs_failed
+                        - self.jobs_cancelled
+                        - self.jobs_timeout
+                    ),
+                },
+                "coalescing": {
+                    "batches": self.batches,
+                    "batch_jobs": self.batch_jobs,
+                    "coalesced_jobs": self.coalesced_jobs,
+                    "columns_requested": self.columns_requested,
+                    "columns_solved": self.columns_solved,
+                    "columns_from_store": self.columns_from_store,
+                },
+                "latency_s": latency_percentiles(self._latencies),
+                "solve_stats": self.solve_stats.as_dict(),
+            }
+        doc["factor_cache"] = factor_cache_info()
+        if queue_depth is not None:
+            doc["queue_depth"] = int(queue_depth)
+        if store_info is not None:
+            doc["result_store"] = store_info
+        if extra:
+            doc.update(extra)
+        return doc

@@ -1,0 +1,145 @@
+"""Memory-budgeted store of solved conductance columns.
+
+The service's cheapest solve is the one it never runs: every column of ``G``
+the scheduler solves is parked here under ``(substrate fingerprint, column
+index)``, and later requests over the same substrate — repeated conductance
+queries, overlapping column sets from different clients, individual
+``(row, column)`` pair lookups — are served straight from the store with
+**zero** new black-box solves.
+
+The store is a byte-budgeted LRU (like the
+:class:`~repro.substrate.factor_cache.FactorCache`, but keyed per column so
+partial overlaps hit): once the budget is exceeded the least-recently-used
+columns are dropped, oldest first.  Stored columns are marked read-only —
+many jobs may hold views of the same array.
+
+Environment knob: ``REPRO_RESULT_STORE_BYTES`` overrides the default budget
+(256 MiB) used by schedulers that do not pass an explicit store.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+__all__ = ["ResultStore", "DEFAULT_STORE_BYTES", "default_store_bytes"]
+
+DEFAULT_STORE_BYTES = 256 * 1024 * 1024
+
+
+def default_store_bytes() -> int:
+    """Store budget in bytes (env: ``REPRO_RESULT_STORE_BYTES``)."""
+    env = os.environ.get("REPRO_RESULT_STORE_BYTES")
+    if env:
+        try:
+            return int(env)
+        except ValueError:
+            pass
+    return DEFAULT_STORE_BYTES
+
+
+class ResultStore:
+    """LRU cache of solved ``G`` columns keyed ``(fingerprint, column)``."""
+
+    def __init__(self, max_bytes: int | None = None) -> None:
+        self.max_bytes = int(max_bytes if max_bytes is not None else default_store_bytes())
+        self._columns: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
+        self._bytes = 0
+        self._lock = threading.RLock()
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # ------------------------------------------------------------------ access
+    def get(self, fingerprint: tuple, column: int) -> np.ndarray | None:
+        """One stored column (refreshing recency), or ``None``; counts hit/miss."""
+        key = (fingerprint, int(column))
+        with self._lock:
+            value = self._columns.get(key)
+            if value is None:
+                self.misses += 1
+                return None
+            self._columns.move_to_end(key)
+            self.hits += 1
+            return value
+
+    def get_many(
+        self, fingerprint: tuple, columns: tuple[int, ...]
+    ) -> dict[int, np.ndarray]:
+        """The subset of ``columns`` present in the store (one hit/miss each)."""
+        found: dict[int, np.ndarray] = {}
+        for column in columns:
+            value = self.get(fingerprint, column)
+            if value is not None:
+                found[column] = value
+        return found
+
+    def put(self, fingerprint: tuple, column: int, values: np.ndarray) -> np.ndarray:
+        """Store one solved column (read-only copy); returns the stored array."""
+        values = np.array(values, dtype=float)  # private copy, never a view
+        values.flags.writeable = False
+        key = (fingerprint, int(column))
+        with self._lock:
+            if values.nbytes > self.max_bytes:
+                return values  # larger than the whole budget: serve, don't store
+            old = self._columns.pop(key, None)
+            if old is not None:
+                self._bytes -= old.nbytes
+            self._columns[key] = values
+            self._bytes += values.nbytes
+            while self._bytes > self.max_bytes and self._columns:
+                _, victim = self._columns.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self.evictions += 1
+        return values
+
+    def contains(self, fingerprint: tuple, column: int) -> bool:
+        """Pure membership probe — no counters, no recency update."""
+        with self._lock:
+            return (fingerprint, int(column)) in self._columns
+
+    # ------------------------------------------------------------- maintenance
+    def set_budget(self, max_bytes: int) -> None:
+        """Change the byte budget and evict down to it immediately."""
+        with self._lock:
+            self.max_bytes = int(max_bytes)
+            while self._bytes > self.max_bytes and self._columns:
+                _, victim = self._columns.popitem(last=False)
+                self._bytes -= victim.nbytes
+                self.evictions += 1
+
+    def clear(self, fingerprint: tuple | None = None) -> None:
+        """Drop everything, or only one substrate's columns; counters survive."""
+        with self._lock:
+            if fingerprint is None:
+                self._columns.clear()
+                self._bytes = 0
+                return
+            for key in [k for k in self._columns if k[0] == fingerprint]:
+                victim = self._columns.pop(key)
+                self._bytes -= victim.nbytes
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._columns)
+
+    def info(self) -> dict:
+        """Occupancy and hit/miss counters (service metrics / benchmarks)."""
+        with self._lock:
+            return {
+                "columns": len(self._columns),
+                "bytes": self._bytes,
+                "max_bytes": self.max_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "evictions": self.evictions,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return (
+            f"ResultStore(columns={len(self._columns)}, bytes={self._bytes}, "
+            f"max_bytes={self.max_bytes})"
+        )

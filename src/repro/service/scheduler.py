@@ -1,0 +1,493 @@
+"""Job scheduler with cross-request coalescing over shared substrates.
+
+This is the service's engine room.  Clients :meth:`~Scheduler.submit`
+:class:`~repro.service.jobs.JobRequest` objects and block on
+:meth:`~Scheduler.result`; a dispatcher thread drains the queue in cycles and
+turns each cycle's jobs into the *minimum* amount of solver work:
+
+* **Coalescing.**  Jobs over the same substrate fingerprint
+  (:attr:`JobRequest.fingerprint`) are grouped into one batch; the union of
+  their needed columns is submitted as a single ``solve_many`` block, so the
+  factor is built once and one dispatch decision covers right-hand sides
+  from many clients.  Requests queued while a batch is solving pile up and
+  coalesce into the next cycle — the busier the service, the better it
+  batches.
+* **Result store.**  Solved columns land in a
+  :class:`~repro.service.result_store.ResultStore` LRU keyed on
+  ``(fingerprint, column)``; any column someone already paid for is served
+  with zero new solves, across jobs and across clients.
+* **Persistent extraction engines.**  Each live substrate keeps a warm
+  :class:`~repro.substrate.parallel.ParallelExtractor` (worker pool up,
+  factor built, shared-memory factor plane published) in a small LRU pool,
+  so consecutive batches pay solve cost only.  Attribution is unchanged: a
+  batch of ``m`` fresh columns is charged exactly ``m`` black-box solves
+  through a :class:`~repro.substrate.solver_base.CountingSolver`, identical
+  to what isolated per-request extraction would report for those columns.
+
+Scheduling is priority-aware (higher-priority fingerprint groups solve
+first), jobs may be cancelled while queued, and a queued job past its
+``timeout_s`` deadline is failed with the ``"timeout"`` status instead of
+occupying the solver.  For deterministic tests construct with
+``autostart=False`` and call :meth:`step` to run drain cycles by hand.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict, deque
+from typing import Iterable
+
+import numpy as np
+
+from ..substrate.extraction import extract_columns
+from ..substrate.parallel import ParallelExtractor, SolverSpec
+from ..substrate.solver_base import CountingSolver, SolveStats
+from .jobs import Job, JobRequest, JobState
+from .metrics import ServiceMetrics
+from .result_store import ResultStore
+
+__all__ = ["Scheduler", "ExtractorPool", "ITERATION_HISTORY"]
+
+#: per-solve iteration entries kept on long-lived stats objects (the
+#: aggregate totals are never trimmed, so ``mean_iterations`` stays exact)
+ITERATION_HISTORY = 4096
+
+
+def _stats_snapshot(stats: SolveStats) -> tuple:
+    return (
+        stats.n_iterative_solves,
+        stats.n_direct_solves,
+        stats.total_iterations,
+        len(stats.iterations_per_solve),
+        stats.n_factor_attaches,
+        stats.n_factor_rebuilds,
+    )
+
+
+def _stats_delta(stats: SolveStats, snap: tuple) -> SolveStats:
+    return SolveStats(
+        n_iterative_solves=stats.n_iterative_solves - snap[0],
+        n_direct_solves=stats.n_direct_solves - snap[1],
+        total_iterations=stats.total_iterations - snap[2],
+        iterations_per_solve=list(stats.iterations_per_solve[snap[3]:]),
+        n_factor_attaches=stats.n_factor_attaches - snap[4],
+        n_factor_rebuilds=stats.n_factor_rebuilds - snap[5],
+    )
+
+
+class ExtractorPool:
+    """LRU pool of warm :class:`ParallelExtractor` engines, one per substrate.
+
+    Building an extraction engine is the expensive part of serving a request
+    — solver construction, factorisation, worker-pool start-up, factor-plane
+    publication — so the pool keeps the ``max_solvers`` most recently used
+    engines alive across jobs and evicts (closing pool and plane) beyond
+    that.  Engines are keyed by substrate fingerprint; the spec that first
+    names a fingerprint defines the engine.
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        max_solvers: int = 4,
+        share_factors: bool = True,
+        prepare_tiled: bool = False,
+    ) -> None:
+        if max_solvers < 1:
+            raise ValueError("max_solvers must be at least 1")
+        self.n_workers = n_workers
+        self.max_solvers = int(max_solvers)
+        self.share_factors = bool(share_factors)
+        self.prepare_tiled = bool(prepare_tiled)
+        self._engines: "OrderedDict[tuple, ParallelExtractor]" = OrderedDict()
+        self._lock = threading.RLock()
+        self.engines_built = 0
+        self.engines_evicted = 0
+
+    def get(self, fingerprint: tuple, spec: SolverSpec) -> ParallelExtractor:
+        """The warm engine for ``fingerprint``, building (and warming) on miss.
+
+        The multi-second cold build (solver construction, factorisation,
+        worker-pool spawn, plane publication) runs *outside* the pool lock
+        so :meth:`info` — the ``/stats`` endpoint an operator polls exactly
+        when the service looks busy — never blocks behind it.
+        """
+        with self._lock:
+            engine = self._engines.get(fingerprint)
+            if engine is not None:
+                self._engines.move_to_end(fingerprint)
+                return engine
+        built = ParallelExtractor(
+            spec,
+            n_workers=self.n_workers,
+            prepare_direct=True,
+            share_factors=self.share_factors,
+            prepare_tiled=self.prepare_tiled,
+        )
+        built.warm_up()
+        victims = []
+        with self._lock:
+            engine = self._engines.get(fingerprint)
+            if engine is not None:
+                # a concurrent caller won the build race; theirs is the
+                # pooled engine, ours is surplus
+                self._engines.move_to_end(fingerprint)
+                victims.append(built)
+            else:
+                engine = self._engines[fingerprint] = built
+                self.engines_built += 1
+                while len(self._engines) > self.max_solvers:
+                    _, victim = self._engines.popitem(last=False)
+                    self.engines_evicted += 1
+                    victims.append(victim)
+        for victim in victims:
+            victim.close()
+        return engine
+
+    def close(self) -> None:
+        """Shut down every engine (idempotent)."""
+        with self._lock:
+            for engine in self._engines.values():
+                engine.close()
+            self._engines.clear()
+
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "live": len(self._engines),
+                "max_solvers": self.max_solvers,
+                "built": self.engines_built,
+                "evicted": self.engines_evicted,
+            }
+
+
+class Scheduler:
+    """Front door of the extraction service (see module docstring).
+
+    Parameters
+    ----------
+    n_workers:
+        Worker-process count of each substrate's
+        :class:`~repro.substrate.parallel.ParallelExtractor` (default: CPU
+        count; one worker solves inline — no pool).
+    store:
+        The :class:`~repro.service.result_store.ResultStore` to serve
+        repeated queries from; a fresh budgeted store by default.
+    max_solvers:
+        How many substrates keep a warm engine at once (LRU beyond that).
+    coalesce_window_s:
+        After noticing a non-empty queue, wait this long before draining so
+        near-simultaneous requests land in one batch.  ``0`` (default)
+        drains immediately — concurrent requests still coalesce whenever
+        they arrive while a batch is solving.
+    autostart:
+        Start the background dispatcher thread.  ``False`` leaves the queue
+        untouched until :meth:`step` is called (deterministic tests).
+    share_factors / prepare_tiled:
+        Forwarded to each engine (factor plane publication, tiled warm-up).
+    max_jobs_retained / max_result_bytes_retained:
+        Finished jobs kept for late :meth:`result` pickup; the oldest
+        terminal jobs are dropped once either the job count or the total
+        bytes of retained result arrays exceed the bound (a service serving
+        wide column blocks must not accumulate result memory forever — the
+        store is byte-budgeted, so its feed is too).
+    """
+
+    def __init__(
+        self,
+        n_workers: int | None = None,
+        store: ResultStore | None = None,
+        max_solvers: int = 4,
+        coalesce_window_s: float = 0.0,
+        autostart: bool = True,
+        share_factors: bool = True,
+        prepare_tiled: bool = False,
+        max_jobs_retained: int = 10_000,
+        max_result_bytes_retained: int = 256 * 1024 * 1024,
+    ) -> None:
+        self.store = store if store is not None else ResultStore()
+        self.metrics = ServiceMetrics()
+        self.pool = ExtractorPool(
+            n_workers=n_workers,
+            max_solvers=max_solvers,
+            share_factors=share_factors,
+            prepare_tiled=prepare_tiled,
+        )
+        self.coalesce_window_s = float(coalesce_window_s)
+        self.max_jobs_retained = int(max_jobs_retained)
+        self.max_result_bytes_retained = int(max_result_bytes_retained)
+        self._jobs: dict[str, Job] = {}
+        self._pending: list[str] = []
+        self._terminal: "deque[str]" = deque()
+        self._retained_bytes = 0
+        self._seq = 0
+        self._cv = threading.Condition()
+        self._drain_lock = threading.Lock()
+        self._closing = False
+        #: cumulative CountingSolver attribution of every batch this
+        #: scheduler ran (equals fresh columns solved; pinned by tests)
+        self.attributed_solves = 0
+        self._thread: threading.Thread | None = None
+        if autostart:
+            self._thread = threading.Thread(
+                target=self._run, name="repro-service-dispatcher", daemon=True
+            )
+            self._thread.start()
+
+    # ----------------------------------------------------------------- clients
+    def submit(self, request: JobRequest) -> str:
+        """Queue one request; returns the job id immediately."""
+        if not isinstance(request, JobRequest):
+            raise TypeError("submit() takes a JobRequest")
+        with self._cv:
+            if self._closing:
+                raise RuntimeError("scheduler is closed")
+            self._seq += 1
+            job_id = f"job-{self._seq:06d}"
+            job = Job(
+                job_id=job_id,
+                request=request,
+                submitted_at=time.monotonic(),
+                priority=int(request.priority),
+                done_event=threading.Event(),
+            )
+            self._jobs[job_id] = job
+            self._pending.append(job_id)
+            self._cv.notify_all()
+        self.metrics.record_submit()
+        return job_id
+
+    def cancel(self, job_id: str) -> bool:
+        """Cancel a job that has not started; True when it was cancelled."""
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is None:
+                raise KeyError(f"unknown job id {job_id!r}")
+            if job.status != JobState.PENDING:
+                return False
+            self._finalize_locked(job, JobState.CANCELLED)
+            return True
+
+    def result(self, job_id: str, wait_s: float | None = None) -> Job:
+        """The job record, optionally blocking until it reaches a terminal state.
+
+        ``wait_s=None`` returns the current state immediately; a positive
+        value blocks up to that long.  The returned object is the live
+        record — read ``status`` / ``result`` / ``pair_values`` from it.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise KeyError(f"unknown job id {job_id!r}")
+        if wait_s is not None and job.status not in JobState.TERMINAL:
+            job.done_event.wait(timeout=wait_s)
+        return job
+
+    def wait(self, job_ids: Iterable[str], timeout_s: float = 60.0) -> list[Job]:
+        """Block until every listed job is terminal (or the deadline passes)."""
+        deadline = time.monotonic() + timeout_s
+        jobs = []
+        for job_id in job_ids:
+            remaining = max(deadline - time.monotonic(), 0.0)
+            jobs.append(self.result(job_id, wait_s=remaining))
+        return jobs
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cv:
+            return len(self._pending)
+
+    def stats(self) -> dict:
+        """Aggregated metrics snapshot (the ``/stats`` endpoint body)."""
+        return self.metrics.snapshot(
+            queue_depth=self.queue_depth,
+            store_info=self.store.info(),
+            extra={
+                "engines": self.pool.info(),
+                "attributed_solves": self.attributed_solves,
+            },
+        )
+
+    # --------------------------------------------------------------- lifecycle
+    def close(self, timeout_s: float = 60.0) -> None:
+        """Stop the dispatcher, fail queued jobs, shut the engines down.
+
+        Waits up to ``timeout_s`` for an in-flight batch to finish.  If the
+        dispatcher is still mid-batch after that, the engines are left
+        running (they are daemon-backed and die with the process) rather
+        than pulled out from under the batch — closing a worker pool a
+        solve is running on would fail the batch confusingly instead of
+        letting it complete.
+        """
+        with self._cv:
+            if self._closing:
+                return
+            self._closing = True
+            pending, self._pending = self._pending, []
+            for job_id in pending:
+                job = self._jobs[job_id]
+                if job.status == JobState.PENDING:
+                    job.error = "scheduler closed"
+                    self._finalize_locked(job, JobState.FAILED)
+            self._cv.notify_all()
+        if self._thread is not None:
+            self._thread.join(timeout=timeout_s)
+            if self._thread.is_alive():  # pragma: no cover - stuck batch
+                return
+            self._thread = None
+        self.pool.close()
+
+    def __enter__(self) -> "Scheduler":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # -------------------------------------------------------------- dispatcher
+    def _run(self) -> None:
+        while True:
+            with self._cv:
+                while not self._pending and not self._closing:
+                    self._cv.wait()
+                if self._closing:
+                    return
+            if self.coalesce_window_s > 0.0:
+                time.sleep(self.coalesce_window_s)
+            self.step()
+
+    def step(self) -> int:
+        """Run one drain cycle synchronously; returns the number of jobs served.
+
+        Pops everything currently queued, times out overdue jobs, groups the
+        rest by substrate fingerprint and solves each group as one coalesced
+        batch (highest priority group first).  The background dispatcher
+        calls this in a loop; tests with ``autostart=False`` call it by hand
+        to make coalescing deterministic.
+        """
+        with self._drain_lock:
+            with self._cv:
+                pending, self._pending = self._pending, []
+                jobs = []
+                now = time.monotonic()
+                for job_id in pending:
+                    job = self._jobs[job_id]
+                    if job.status != JobState.PENDING:
+                        continue  # cancelled while queued
+                    if job.deadline is not None and now > job.deadline:
+                        job.error = (
+                            f"job timed out after {job.request.timeout_s:g}s in queue"
+                        )
+                        self._finalize_locked(job, JobState.TIMEOUT)
+                        continue
+                    jobs.append(job)
+            if not jobs:
+                return 0
+            groups: "OrderedDict[tuple, list[Job]]" = OrderedDict()
+            for job in jobs:
+                groups.setdefault(job.request.fingerprint, []).append(job)
+            ordered = sorted(
+                groups.items(), key=lambda kv: -max(j.priority for j in kv[1])
+            )
+            served = 0
+            for fingerprint, group in ordered:
+                self._run_batch(fingerprint, group)
+                served += len(group)
+            return served
+
+    # ------------------------------------------------------------------ batch
+    def _run_batch(self, fingerprint: tuple, jobs: list[Job]) -> None:
+        """Solve one coalesced group and assemble every member's result."""
+        now = time.monotonic()
+        with self._cv:
+            # re-check under the lock: a job popped by this cycle may have
+            # been cancelled before its group's turn came up — reviving it
+            # here would finalize it twice (cancelled *and* done)
+            jobs = [job for job in jobs if job.status == JobState.PENDING]
+            for job in jobs:
+                job.status = JobState.RUNNING
+                job.started_at = now
+        if not jobs:
+            return
+        try:
+            union: set[int] = set()
+            for job in jobs:
+                union.update(job.request.needed_columns())
+            needed = tuple(sorted(union))
+            columns = self.store.get_many(fingerprint, needed)
+            to_solve = tuple(c for c in needed if c not in columns)
+            stats_delta = None
+            if to_solve:
+                engine = self.pool.get(fingerprint, jobs[0].request.effective_spec)
+                counting = CountingSolver(engine)
+                snap = _stats_snapshot(engine.stats)
+                block = extract_columns(counting, np.asarray(to_solve, dtype=int))
+                stats_delta = _stats_delta(engine.stats, snap)
+                # a warm engine lives for the whole service: bound its
+                # per-solve iteration history (the aggregate counters, which
+                # mean_iterations and dispatch feed on, are unaffected)
+                del engine.stats.iterations_per_solve[:-ITERATION_HISTORY]
+                self.attributed_solves += counting.solve_count
+                for idx, column in enumerate(to_solve):
+                    columns[column] = self.store.put(
+                        fingerprint, column, block[:, idx]
+                    )
+            self.metrics.record_batch(
+                n_jobs=len(jobs),
+                n_columns_requested=len(needed),
+                n_columns_solved=len(to_solve),
+                n_columns_from_store=len(needed) - len(to_solve),
+                stats_delta=stats_delta,
+            )
+            for job in jobs:
+                self._assemble(job, columns)
+        except Exception as exc:  # noqa: BLE001 - a batch must never kill the loop
+            with self._cv:
+                for job in jobs:
+                    if job.status not in JobState.TERMINAL:
+                        job.error = f"{type(exc).__name__}: {exc}"
+                        self._finalize_locked(job, JobState.FAILED)
+
+    def _assemble(self, job: Job, columns: dict[int, np.ndarray]) -> None:
+        """Build one job's result views from the batch's solved columns."""
+        request = job.request
+        if request.columns is not None:
+            job.result_columns = request.columns
+        elif request.pairs is None:
+            job.result_columns = tuple(range(request.n_contacts))
+        if job.result_columns is not None:
+            job.result = np.column_stack([columns[c] for c in job.result_columns])
+        if request.pairs is not None:
+            job.pair_values = np.array([columns[j][i] for i, j in request.pairs])
+        with self._cv:
+            self._finalize_locked(job, JobState.DONE)
+
+    @staticmethod
+    def _result_nbytes(job: Job) -> int:
+        total = 0
+        if job.result is not None:
+            total += job.result.nbytes
+        if job.pair_values is not None:
+            total += job.pair_values.nbytes
+        return total
+
+    def _finalize_locked(self, job: Job, status: str) -> None:
+        """Move a job to a terminal state (caller holds ``_cv``)."""
+        job.status = status
+        job.finished_at = time.monotonic()
+        job.done_event.set()
+        self.metrics.record_outcome(status, latency_s=job.latency_s)
+        self._terminal.append(job.job_id)
+        self._retained_bytes += self._result_nbytes(job)
+        while self._terminal and (
+            len(self._terminal) > self.max_jobs_retained
+            or self._retained_bytes > self.max_result_bytes_retained
+        ):
+            stale = self._jobs.pop(self._terminal.popleft(), None)
+            if stale is not None:
+                self._retained_bytes -= self._result_nbytes(stale)

@@ -1,0 +1,316 @@
+"""Stdlib HTTP/JSON front end for the extraction service.
+
+A thin, dependency-free layer over the
+:class:`~repro.service.scheduler.Scheduler`: a
+:class:`http.server.ThreadingHTTPServer` exposing four endpoints, a blocking
+:class:`ServiceClient`, and a CLI (``python -m repro.service``).
+
+========  =========  ====================================================
+method    path       body / query
+========  =========  ====================================================
+POST      /submit    JSON ``{"request_pickle": <base64 pickle of a
+                     JobRequest>}`` → ``{"job_id", "status"}``
+GET       /result    ``?job_id=...&wait_s=...`` → job snapshot (status,
+                     solved columns as nested lists, pair values, error)
+GET       /stats     scheduler metrics snapshot (coalescing counters,
+                     latency percentiles, solve stats, store/factor-cache
+                     occupancy, queue depth)
+GET       /healthz   liveness probe: ``{"ok": true, "queue_depth",
+                     "uptime_s"}``
+========  =========  ====================================================
+
+Job requests travel as pickled :class:`~repro.service.jobs.JobRequest`
+payloads (base64 inside JSON) because they embed full layout/profile
+objects.  **Unpickling executes arbitrary code** — bind the server to
+loopback or a trusted network only, exactly like the related background-job
+daemons this service is modelled on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import base64
+import json
+import pickle
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.parse import parse_qs, urlparse
+from urllib.request import Request, urlopen
+
+from .jobs import JobRequest, JobState
+from .scheduler import Scheduler
+
+__all__ = ["ExtractionServer", "ServiceClient", "main"]
+
+
+def _make_handler(scheduler: Scheduler):
+    """Bind a request-handler class to one scheduler instance."""
+
+    class ExtractionHandler(BaseHTTPRequestHandler):
+        server_version = "ReproExtractionService/1.0"
+
+        # ------------------------------------------------------------ plumbing
+        def log_message(self, format: str, *args) -> None:  # noqa: A002
+            pass  # request logging is the metrics layer's job, not stderr's
+
+        def _send_json(self, payload: dict, status: int = 200) -> None:
+            body = json.dumps(payload).encode()
+            self.send_response(status)
+            self.send_header("Content-Type", "application/json")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+
+        def _send_error_json(self, status: int, message: str) -> None:
+            self._send_json({"error": message}, status=status)
+
+        # ------------------------------------------------------------- routes
+        def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
+            if urlparse(self.path).path != "/submit":
+                self._send_error_json(404, f"unknown path {self.path!r}")
+                return
+            try:
+                length = int(self.headers.get("Content-Length", "0"))
+                doc = json.loads(self.rfile.read(length) or b"{}")
+                blob = base64.b64decode(doc["request_pickle"])
+                request = pickle.loads(blob)
+                if not isinstance(request, JobRequest):
+                    raise TypeError("payload did not unpickle to a JobRequest")
+            except Exception as exc:  # noqa: BLE001 - malformed client input
+                self._send_error_json(400, f"bad submit payload: {exc}")
+                return
+            try:
+                job_id = scheduler.submit(request)
+            except Exception as exc:  # noqa: BLE001 - e.g. scheduler closed
+                self._send_error_json(503, str(exc))
+                return
+            self._send_json({"job_id": job_id, "status": JobState.PENDING})
+
+        def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
+            url = urlparse(self.path)
+            query = parse_qs(url.query)
+            if url.path == "/healthz":
+                self._send_json(
+                    {
+                        "ok": True,
+                        "queue_depth": scheduler.queue_depth,
+                        "uptime_s": time.monotonic() - scheduler.metrics.started_at,
+                    }
+                )
+                return
+            if url.path == "/stats":
+                self._send_json(scheduler.stats())
+                return
+            if url.path == "/result":
+                job_id = (query.get("job_id") or [None])[0]
+                if not job_id:
+                    self._send_error_json(400, "missing job_id")
+                    return
+                try:
+                    wait_s = float((query.get("wait_s") or ["0"])[0])
+                except ValueError:
+                    self._send_error_json(400, "wait_s must be a number")
+                    return
+                try:
+                    job = scheduler.result(
+                        job_id, wait_s=wait_s if wait_s > 0 else None
+                    )
+                except KeyError:
+                    self._send_error_json(404, f"unknown job id {job_id!r}")
+                    return
+                self._send_json(job.snapshot())
+                return
+            self._send_error_json(404, f"unknown path {url.path!r}")
+
+    return ExtractionHandler
+
+
+class ExtractionServer:
+    """Owns one scheduler and one threaded HTTP server on top of it.
+
+    ``port=0`` (the default) binds an ephemeral port — read it back from
+    :attr:`port` / :attr:`url` after construction.  Use as a context manager
+    or call :meth:`close`, which also shuts the scheduler down.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        scheduler: Scheduler | None = None,
+        **scheduler_kwargs,
+    ) -> None:
+        self.scheduler = scheduler if scheduler is not None else Scheduler(**scheduler_kwargs)
+        self._owns_scheduler = scheduler is None
+        self._httpd = ThreadingHTTPServer((host, port), _make_handler(self.scheduler))
+        self._httpd.daemon_threads = True
+        self._thread: threading.Thread | None = None
+
+    @property
+    def host(self) -> str:
+        return self._httpd.server_address[0]
+
+    @property
+    def port(self) -> int:
+        return self._httpd.server_address[1]
+
+    @property
+    def url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def start(self) -> "ExtractionServer":
+        """Serve in a background thread; returns self for chaining."""
+        if self._thread is None:
+            self._thread = threading.Thread(
+                target=self._httpd.serve_forever,
+                name="repro-service-http",
+                daemon=True,
+            )
+            self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI entry point)."""
+        self._httpd.serve_forever()
+
+    def close(self) -> None:
+        self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=10.0)
+            self._thread = None
+        if self._owns_scheduler:
+            self.scheduler.close()
+
+    def __enter__(self) -> "ExtractionServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class ServiceClient:
+    """Blocking Python client of an :class:`ExtractionServer`."""
+
+    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+        self.url = url.rstrip("/")
+        self.timeout_s = float(timeout_s)
+
+    # ------------------------------------------------------------------ http
+    def _get(self, path: str, timeout_s: float | None = None) -> dict:
+        with urlopen(
+            self.url + path, timeout=timeout_s if timeout_s is not None else self.timeout_s
+        ) as response:
+            return json.loads(response.read())
+
+    def _post(self, path: str, payload: dict) -> dict:
+        body = json.dumps(payload).encode()
+        request = Request(
+            self.url + path, data=body, headers={"Content-Type": "application/json"}
+        )
+        with urlopen(request, timeout=self.timeout_s) as response:
+            return json.loads(response.read())
+
+    # ------------------------------------------------------------------- api
+    def submit(self, request: JobRequest) -> str:
+        """Ship one request; returns the server's job id."""
+        blob = base64.b64encode(pickle.dumps(request)).decode()
+        return self._post("/submit", {"request_pickle": blob})["job_id"]
+
+    def result(self, job_id: str, wait_s: float = 0.0) -> dict:
+        """One job snapshot, optionally long-polling up to ``wait_s``."""
+        path = f"/result?job_id={job_id}"
+        if wait_s > 0:
+            path += f"&wait_s={wait_s:g}"
+        return self._get(path, timeout_s=self.timeout_s + wait_s)
+
+    def wait(self, job_id: str, timeout_s: float = 60.0) -> dict:
+        """Block until the job is terminal; raises on timeout."""
+        deadline = time.monotonic() + timeout_s
+        while True:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise TimeoutError(f"job {job_id} not terminal after {timeout_s:g}s")
+            snapshot = self.result(job_id, wait_s=min(remaining, 5.0))
+            if snapshot["status"] in JobState.TERMINAL:
+                return snapshot
+
+    def extract(self, request: JobRequest, timeout_s: float = 60.0):
+        """Submit + wait + unpack: solved columns as an ndarray (or pair values).
+
+        Returns the ``(n_contacts, k)`` column block for column/dense
+        requests, the pair-value vector for pure pair requests, and the
+        ``(column block, pair values)`` tuple when the request asked for
+        both.  Raises ``RuntimeError`` on any non-``done`` terminal status.
+        """
+        import numpy as np
+
+        snapshot = self.wait(self.submit(request), timeout_s=timeout_s)
+        if snapshot["status"] != JobState.DONE:
+            raise RuntimeError(
+                f"job {snapshot['job_id']} ended {snapshot['status']}: "
+                f"{snapshot.get('error')}"
+            )
+        result = (
+            np.asarray(snapshot["result"]) if snapshot["result"] is not None else None
+        )
+        pairs = (
+            np.asarray(snapshot["pair_values"])
+            if snapshot["pair_values"] is not None
+            else None
+        )
+        if result is not None and pairs is not None:
+            return result, pairs
+        return result if result is not None else pairs
+
+    def stats(self) -> dict:
+        return self._get("/stats")
+
+    def healthz(self) -> dict:
+        return self._get("/healthz")
+
+
+def main(argv: list[str] | None = None) -> None:
+    """CLI entry point: ``python -m repro.service [--host H] [--port P] ...``."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.service",
+        description="Run the substrate-extraction service (HTTP/JSON front end).",
+    )
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument("--port", type=int, default=8752, help="bind port (0=ephemeral)")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="extraction worker processes per engine"
+    )
+    parser.add_argument(
+        "--max-solvers", type=int, default=4, help="warm engines kept across substrates"
+    )
+    parser.add_argument(
+        "--store-bytes", type=int, default=None, help="result-store budget in bytes"
+    )
+    parser.add_argument(
+        "--coalesce-window",
+        type=float,
+        default=0.0,
+        help="seconds to linger before draining the queue (batches near-simultaneous jobs)",
+    )
+    args = parser.parse_args(argv)
+
+    from .result_store import ResultStore
+
+    store = ResultStore(args.store_bytes) if args.store_bytes is not None else None
+    server = ExtractionServer(
+        host=args.host,
+        port=args.port,
+        n_workers=args.workers,
+        max_solvers=args.max_solvers,
+        store=store,
+        coalesce_window_s=args.coalesce_window,
+    )
+    print(f"extraction service listening on {server.url} (Ctrl-C to stop)")
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.close()

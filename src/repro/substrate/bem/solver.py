@@ -45,6 +45,8 @@ from .operator import SurfaceOperator
 
 #: factor-cache kind string of the dense contact-block factorisations
 BEM_FACTOR_KIND = "bem_direct_factor"
+#: factor-cache kind string of the in-RAM tiled contact-block factorisations
+BEM_TILED_KIND = "bem_tiled_factor"
 
 __all__ = ["EigenfunctionSolver"]
 
@@ -242,6 +244,14 @@ class EigenfunctionSolver(SubstrateSolver):
             self.grid.nx,
             self.grid.ny,
         )
+        #: process-wide cache key of the in-RAM tiled factorisation
+        self._tiled_cache_key = (
+            BEM_TILED_KIND,
+            layout.fingerprint,
+            profile.cache_key,
+            self.grid.nx,
+            self.grid.ny,
+        )
         self._incidence: sparse.csr_matrix | None = None
         self._jacobi = self.operator.contact_block_diagonal()
         if np.any(self._jacobi <= 0):
@@ -263,6 +273,16 @@ class EigenfunctionSolver(SubstrateSolver):
         refactoring.
         """
         return self._factor_cache_key
+
+    @property
+    def tiled_factor_cache_key(self) -> tuple:
+        """Process-wide cache key of this solver's in-RAM tiled factor.
+
+        Only RAM-stored tiled factors are shared (through the process-wide
+        cache and the factor plane); a spilled factor *is* its memmapped
+        scratch file and stays per-process.
+        """
+        return self._tiled_cache_key
 
     # ----------------------------------------------------------------- solves
     def solve_currents(self, voltages: np.ndarray) -> np.ndarray:
@@ -356,7 +376,7 @@ class EigenfunctionSolver(SubstrateSolver):
             grounded=self.profile.grounded_backplane,
             factor_cached=self._factor_available(),
             factor_failed=self._direct_failed,
-            tiled_factor_cached=self._tiled_factor is not None,
+            tiled_factor_cached=self._tiled_factor_available(),
         )
         self.last_dispatch = decision
         if decision.path == "direct":
@@ -566,6 +586,12 @@ class EigenfunctionSolver(SubstrateSolver):
             return False
         return True
 
+    def _tiled_factor_available(self) -> bool:
+        """A tiled factor is held, or sits warm in the process-wide cache."""
+        return self._tiled_factor is not None or (
+            self.use_factor_cache and factor_cache().contains(self._tiled_cache_key)
+        )
+
     def _ensure_tiled_factor(self) -> None:
         """Assemble and factor ``A_cc`` tile by tile (out-of-core Cholesky).
 
@@ -574,11 +600,21 @@ class EigenfunctionSolver(SubstrateSolver):
         border column ``w = A_cc^{-1} 1`` and Schur pivot ``s = 1' w`` (the
         bordered-LU fallback of the dense path has no out-of-core analogue;
         a singular ``A_cc`` raises and the caller falls back to iterative).
-        Tiled factors are held per solver, not in the process-wide cache —
-        a spilled factor *is* its scratch file, there is nothing to share.
+
+        **In-RAM** tiled factors are shared through the process-wide
+        :mod:`~repro.substrate.factor_cache` (and, from there, the parallel
+        engine's shared-memory factor plane), so sibling solvers and service
+        workers skip the tile-by-tile rebuild.  A *spilled* factor is its
+        memmapped scratch file — there is nothing to share — and stays per
+        solver.
         """
         if self._tiled_factor is not None:
             return
+        if self.use_factor_cache:
+            cached = factor_cache().get(self._tiled_cache_key)
+            if cached is not None:
+                self._tiled_factor = cached
+                return
         ncp = self.grid.n_contact_panels
         tf = TiledCholeskyFactor(
             ncp, tile=self.tile_panels, spill_over_bytes=self.tiled_spill_bytes
@@ -596,14 +632,19 @@ class EigenfunctionSolver(SubstrateSolver):
         self.stats.record_factor_rebuild()
         if self.profile.grounded_backplane:
             self._tiled_factor = ("tiled_chol", tf)
-            return
-        ones = np.ones(ncp)
-        w = tf.solve(ones)
-        s = float(ones @ w)
-        if not np.isfinite(s) or s <= 0.0:
-            tf.close()
-            raise LinAlgError("degenerate Schur complement on the tiled factor")
-        self._tiled_factor = ("tiled_schur", tf, w, s)
+        else:
+            ones = np.ones(ncp)
+            w = tf.solve(ones)
+            s = float(ones @ w)
+            if not np.isfinite(s) or s <= 0.0:
+                tf.close()
+                raise LinAlgError("degenerate Schur complement on the tiled factor")
+            self._tiled_factor = ("tiled_schur", tf, w, s)
+        if self.use_factor_cache and not tf.spilled:
+            # the cache (and everyone who loads from it) now co-owns the
+            # storage: close_tiled() must not release it from under them
+            tf.shared = True
+            factor_cache().put(self._tiled_cache_key, self._tiled_factor, nbytes=tf.nbytes)
 
     def _solve_many_tiled(self, v: np.ndarray) -> np.ndarray | None:
         """Out-of-core factor-once / solve-all path; None on factor failure.
@@ -642,7 +683,13 @@ class EigenfunctionSolver(SubstrateSolver):
         return out
 
     def close_tiled(self) -> None:
-        """Release the tiled factor's scratch storage (idempotent)."""
+        """Release the tiled factor's scratch storage (idempotent).
+
+        A factor whose storage is shared (held by the process-wide cache or
+        attached through the factor plane) is only dropped, never released —
+        :class:`~repro.substrate.tiled.TiledCholeskyFactor.close` handles
+        the distinction.
+        """
         if self._tiled_factor is not None:
             self._tiled_factor[1].close()
             self._tiled_factor = None

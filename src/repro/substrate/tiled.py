@@ -58,7 +58,15 @@ class TiledCholeskyFactor:
         to hold" to the same knob that bounds every other cached factor.
 
     Use :meth:`factor` to fill and factor the storage from a row-block
-    assembly callback, then :meth:`solve` for right-hand sides.
+    assembly callback, then :meth:`solve` for right-hand sides.  The factor
+    is a context manager (``with TiledCholeskyFactor(...) as tf: ...``)
+    whose exit releases the scratch storage; :meth:`close` is idempotent.
+
+    A factor whose storage is *shared* (``shared=True``: adopted from the
+    process-wide factor cache, or attached read-only through the
+    shared-memory factor plane via :meth:`from_factored_array`) does not own
+    its pages — :meth:`close` then only drops this consumer's reference and
+    never releases or unlinks anything.
     """
 
     def __init__(
@@ -90,11 +98,48 @@ class TiledCholeskyFactor:
         else:
             self._l = np.zeros((n, n))
         self._factored = False
+        #: storage is shared with other consumers (factor cache / plane):
+        #: close() must not release it from under them
+        self.shared = False
+
+    @classmethod
+    def from_factored_array(
+        cls, l_array: np.ndarray, tile: int = DEFAULT_TILE
+    ) -> "TiledCholeskyFactor":
+        """Wrap an already-factored (possibly read-only, shared) ``L`` array.
+
+        Used by the shared-memory factor plane to reconstruct a published
+        in-RAM tiled factor as zero-copy views in another process: no storage
+        is allocated, the instance is marked factored and ``shared``, and
+        :meth:`close` only drops the reference (the publisher owns the
+        pages).  The blocked substitution never writes through ``L``, so a
+        read-only buffer is fine.
+        """
+        l_array = np.asarray(l_array)
+        if l_array.ndim != 2 or l_array.shape[0] != l_array.shape[1]:
+            raise ValueError("factored storage must be a square (n, n) array")
+        tf = cls.__new__(cls)
+        tf.n = int(l_array.shape[0])
+        tf.tile = int(tile)
+        if tf.tile < 1:
+            raise ValueError("tile must be positive")
+        tf.nbytes = tf.n * tf.n * 8
+        tf.spilled = False
+        tf.scratch_path = None
+        tf._l = l_array
+        tf._factored = True
+        tf.shared = True
+        return tf
 
     # ------------------------------------------------------------ lifecycle
     def close(self) -> None:
-        """Release the scratch storage (idempotent)."""
-        if self._l is None:
+        """Release the scratch storage (idempotent).
+
+        On shared storage (``shared=True``) this is a no-op: the factor
+        cache or the publishing process co-owns the object and its pages, so
+        a consumer letting go must simply drop its reference.
+        """
+        if self.shared or self._l is None:
             return
         mm = self._l
         self._l = None
@@ -109,6 +154,12 @@ class TiledCholeskyFactor:
             except OSError:
                 pass
             self.scratch_path = None
+
+    def __enter__(self) -> "TiledCholeskyFactor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def __del__(self) -> None:  # pragma: no cover - interpreter-shutdown guard
         try:

@@ -252,3 +252,157 @@ def test_choose_sparse_triggers_probe_when_auto_tune():
     assert not policy._sparse_tuned
     policy.choose_sparse(n_nodes=1000, n_rhs=16)
     assert policy._sparse_tuned
+
+
+# ------------------------------------------------- lifecycle / sharing (PR 5)
+def test_tiled_context_manager_releases_storage():
+    a = _spd(20, seed=3)
+    with _factor_from(a, tile=8) as tf:
+        x = tf.solve(np.ones(20))
+        assert np.abs(a @ x - 1.0).max() < 1e-8
+    with pytest.raises(RuntimeError):
+        tf.solve(np.ones(20))
+    tf.close()
+    tf.close()  # idempotent after context exit too
+
+
+def test_tiled_scratch_files_never_leak(tmp_path, monkeypatch):
+    """Every spilled factor's scratch file is gone once the factor is closed,
+    whether through the context manager or an explicit close."""
+    monkeypatch.setenv("REPRO_TILED_SCRATCH_DIR", str(tmp_path))
+    a = _spd(24, seed=5)
+    with _factor_from(a, tile=8, spill_over_bytes=0) as tf:
+        assert list(tmp_path.glob("repro_tiled_*"))
+        x = tf.solve(np.ones(24))
+        assert np.abs(a @ x - 1.0).max() < 1e-8
+    assert not list(tmp_path.glob("repro_tiled_*"))
+    tf2 = _factor_from(a, tile=8, spill_over_bytes=0)
+    tf2.close()
+    tf2.close()
+    assert not list(tmp_path.glob("repro_tiled_*"))
+
+
+def test_from_factored_array_is_shared_and_close_is_a_noop():
+    a = _spd(18, seed=6)
+    owner = _factor_from(a, tile=8)
+    shared = TiledCholeskyFactor.from_factored_array(owner._l, tile=8)
+    assert shared.shared and not shared.spilled
+    b = np.linspace(-1.0, 1.0, 18)
+    ref = np.linalg.solve(a, b)
+    assert np.abs(shared.solve(b) - ref).max() <= 1e-10 * np.abs(ref).max()
+    shared.close()  # no-op: the owner's storage must survive
+    assert np.abs(shared.solve(b) - ref).max() <= 1e-10 * np.abs(ref).max()
+    with pytest.raises(ValueError):
+        TiledCholeskyFactor.from_factored_array(np.zeros((3, 4)))
+    owner.close()
+
+
+def test_factor_plane_round_trips_tiled_payloads():
+    """tiled_chol / tiled_schur payloads attach as read-only shared views."""
+    from repro.substrate.factor_cache import FactorPlane, attach_shared_factor
+
+    a = _spd(30, seed=7)
+    tf = _factor_from(a, tile=9)
+    ones = np.ones(30)
+    w = np.linalg.solve(a, ones)
+    s = float(ones @ w)
+    b = np.linspace(0.0, 1.0, 30)
+    ref = np.linalg.solve(a, b)
+    with FactorPlane() as plane:
+        h_chol = plane.publish(("k1",), ("tiled_chol", tf))
+        h_schur = plane.publish(("k2",), ("tiled_schur", tf, w, s))
+        got_chol, seg1 = attach_shared_factor(h_chol)
+        got_schur, seg2 = attach_shared_factor(h_schur)
+        assert got_chol[0] == "tiled_chol"
+        attached = got_chol[1]
+        assert isinstance(attached, TiledCholeskyFactor) and attached.shared
+        assert not attached._l.flags.writeable
+        assert np.abs(attached.solve(b) - ref).max() <= 1e-10 * np.abs(ref).max()
+        kind, tf2, w2, s2 = got_schur
+        assert kind == "tiled_schur"
+        np.testing.assert_array_equal(w2, w)
+        assert s2 == pytest.approx(s)
+        assert np.abs(tf2.solve(b) - ref).max() <= 1e-10 * np.abs(ref).max()
+        seg1.close()
+        seg2.close()
+    tf.close()
+
+
+def test_factor_plane_rejects_spilled_tiled_factor():
+    from repro.substrate.factor_cache import FactorPlane
+
+    a = _spd(16, seed=8)
+    tf = _factor_from(a, tile=8, spill_over_bytes=0)
+    assert tf.spilled
+    with FactorPlane() as plane:
+        with pytest.raises(TypeError):
+            plane.publish(("k",), ("tiled_chol", tf))
+    tf.close()
+
+
+@pytest.mark.parametrize("grounded", [True, False], ids=["grounded", "floating"])
+def test_second_solver_adopts_cached_tiled_factor(tiny_layout, grounded):
+    """An in-RAM tiled factor is shared through the process-wide cache: the
+    second solver skips the rebuild, and neither close_tiled breaks the
+    other's storage."""
+    from repro.substrate.factor_cache import factor_cache_clear
+
+    factor_cache_clear("bem_tiled_factor")
+    try:
+        kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1)
+        first = EigenfunctionSolver(
+            tiny_layout, _profile(grounded),
+            dispatch=DispatchPolicy(force_path="tiled"), **kwargs,
+        )
+        assert first.prepare_tiled()
+        assert first.stats.n_factor_rebuilds == 1
+        second = EigenfunctionSolver(
+            tiny_layout, _profile(grounded),
+            dispatch=DispatchPolicy(force_path="tiled"), **kwargs,
+        )
+        assert second.prepare_tiled()
+        assert second.stats.n_factor_rebuilds == 0  # adopted, not rebuilt
+        g_first = extract_dense(first)
+        first.close_tiled()  # shared storage: must not break the second solver
+        g_second = extract_dense(second)
+        np.testing.assert_array_equal(g_first, g_second)  # same factor, same G
+        second.close_tiled()
+    finally:
+        factor_cache_clear("bem_tiled_factor")
+
+
+def test_parallel_extractor_ships_tiled_factor_to_workers(tiny_layout):
+    """The service path: a warm in-RAM tiled factor travels through the
+    factor plane, so workers attach instead of re-running the tile-by-tile
+    factorisation."""
+    from repro.substrate.factor_cache import factor_cache_clear
+    from repro.substrate.parallel import ParallelExtractor, SolverSpec
+
+    factor_cache_clear("bem_tiled_factor")
+    # a dense factor cached by another test under the same substrate key
+    # would be published alongside and double the attach count
+    factor_cache_clear("bem_direct_factor")
+    try:
+        spec = SolverSpec.bem(
+            tiny_layout, _profile(), max_panels=32, rtol=1e-10,
+            dispatch=DispatchPolicy(force_path="tiled"),
+        )
+        ref = EigenfunctionSolver(
+            tiny_layout, _profile(),
+            dispatch=DispatchPolicy(force_path="direct"),
+            max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False,
+        )
+        g_ref = extract_dense(ref)
+        with ParallelExtractor(
+            spec, n_workers=2, prepare_tiled=True, min_parallel_columns=2
+        ) as extractor:
+            extractor.warm_up()
+            assert any(
+                key[0] == "bem_tiled_factor" for key in extractor.published_factor_keys
+            )
+            assert extractor.stats.n_factor_attaches == 2  # one per worker
+            assert extractor.stats.n_factor_rebuilds == 0
+            g = extractor.extract_dense()
+        assert np.abs(g - g_ref).max() <= 1e-10 * np.abs(g_ref).max()
+    finally:
+        factor_cache_clear("bem_tiled_factor")
