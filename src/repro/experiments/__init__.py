@@ -5,6 +5,7 @@ from .runner import (
     SparsificationResult,
     run_batched_extraction_experiment,
     run_dispatch_experiment,
+    run_durable_experiment,
     run_factor_plane_experiment,
     run_lowrank_experiment,
     run_method_comparison,
@@ -29,6 +30,7 @@ __all__ = [
     "run_solver_speed_table",
     "run_batched_extraction_experiment",
     "run_dispatch_experiment",
+    "run_durable_experiment",
     "run_factor_plane_experiment",
     "run_parallel_extraction_experiment",
     "run_service_experiment",

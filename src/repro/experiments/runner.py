@@ -38,6 +38,7 @@ __all__ = [
     "run_dispatch_experiment",
     "run_factor_plane_experiment",
     "run_parallel_extraction_experiment",
+    "run_durable_experiment",
     "run_service_experiment",
     "singular_value_decay_experiment",
 ]
@@ -990,6 +991,196 @@ def run_service_experiment(
                     )
                 ),
             }
+    record["cpu_count"] = int(os.cpu_count() or 1)
+    return record
+
+
+def run_durable_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    n_clients: int = 4,
+    columns_per_client: int | None = None,
+    n_workers: int | None = None,
+    seed: int = 0,
+    state_dir: str | None = None,
+) -> dict:
+    """Cold start versus warm restart of a persistent extraction service.
+
+    Three schedulers run against the **same state directory** (a temporary
+    one unless ``state_dir`` is given), with the process-wide factor cache
+    wiped between them to simulate a process restart:
+
+    * **cold** — an empty state dir: clients pay the full factorisation and
+      one attributed solve per union column, and every byte of it lands in
+      the durable corpus (sqlite columns, factor artifacts, job journal);
+    * **warm** — a restarted service over the populated state dir re-serves
+      the *same* client workload with **zero** new attributed solves at
+      1e-10 agreement with the cold results, and a fresh (never-solved)
+      column costs exactly one solve with the factor loaded from the
+      artifact store instead of rebuilt (counter-pinned probes);
+    * **replay** — a scheduler that accepts a job and "crashes" (state dir
+      survives, scheduler object does not finalize it); the next start
+      replays the journaled job under its original id and completes it
+      from the warm corpus with zero solves.
+
+    This is the experiment behind ``BENCH_durable.json``.
+    """
+    import os
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from ..geometry.layouts import regular_grid
+    from ..service import JobRequest, Scheduler
+    from ..substrate.factor_cache import factor_cache
+    from ..substrate.parallel import SolverSpec
+    from ..substrate.profile import SubstrateProfile
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profile = SubstrateProfile.two_layer_example(size=size, resistive_bottom=True)
+    n = layout.n_contacts
+    if columns_per_client is None:
+        columns_per_client = max(2, n // 4)
+    spec = SolverSpec.bem(layout, profile, max_panels=max_panels, rtol=rtol)
+
+    rng = np.random.default_rng(seed)
+    # hold one contact out of every client's sample: the warm arm proves a
+    # *fresh* column still costs exactly one solve (store can't fake it)
+    held_out = int(rng.integers(n))
+    pool = np.array([c for c in range(n) if c != held_out])
+    client_columns = [
+        tuple(
+            int(c)
+            for c in np.sort(rng.choice(pool, size=columns_per_client, replace=False))
+        )
+        for _ in range(n_clients)
+    ]
+    union = sorted({c for cols in client_columns for c in cols})
+
+    tmp = None
+    if state_dir is None:
+        tmp = tempfile.TemporaryDirectory(prefix="repro_durable_")
+        state_dir = tmp.name
+
+    def run_clients(scheduler) -> tuple[float, list, list]:
+        results: list[np.ndarray | None] = [None] * n_clients
+        status: list[str] = ["?"] * n_clients
+
+        def one(i: int) -> None:
+            job_id = scheduler.submit(JobRequest(spec, columns=client_columns[i]))
+            job = scheduler.result(job_id, wait_s=600.0)
+            status[i] = job.status
+            results[i] = job.result
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as executor:
+            list(executor.map(one, range(n_clients)))
+        return time.perf_counter() - start, results, status
+
+    record: dict = {
+        "n_side": int(n_side),
+        "n_contacts": int(n),
+        "n_clients": int(n_clients),
+        "columns_per_client": int(columns_per_client),
+        "union_columns": len(union),
+        "held_out_column": held_out,
+    }
+    try:
+        # --- cold arm: empty state dir, full factorisation + solves ---------
+        factor_cache().clear()
+        with Scheduler(n_workers=n_workers, persistence=state_dir) as scheduler:
+            cold_s, cold_results, cold_status = run_clients(scheduler)
+            record.update(
+                {
+                    "cold_s": float(cold_s),
+                    "cold_status": cold_status,
+                    "cold_attributed_solves": int(scheduler.attributed_solves),
+                    "persistence_after_cold": scheduler.persistence.info(),
+                }
+            )
+        scale = float(max(np.abs(g).max() for g in cold_results))
+
+        # --- warm arm: simulated restart over the populated state dir -------
+        factor_cache().clear()  # a new process holds no RAM factors
+        with Scheduler(n_workers=n_workers, persistence=state_dir) as scheduler:
+            warm_s, warm_results, warm_status = run_clients(scheduler)
+            diffs = [
+                float(np.abs(warm_results[i] - cold_results[i]).max() / scale)
+                if warm_results[i] is not None
+                else float("inf")
+                for i in range(n_clients)
+            ]
+            store_info = scheduler.store.info()
+            record.update(
+                {
+                    "warm_s": float(warm_s),
+                    "warm_status": warm_status,
+                    "warm_attributed_solves": int(scheduler.attributed_solves),
+                    "warm_max_abs_diff_rel": float(max(diffs)),
+                    "warm_speedup": float(cold_s / warm_s),
+                    "warm_disk_hits": int(store_info["disk_hits"]),
+                }
+            )
+
+            # fresh column: the corpus cannot fake it — exactly one solve,
+            # with the factor attached from the artifact store, not rebuilt
+            before = scheduler.attributed_solves
+            cache = factor_cache()
+            hits_before = cache.artifact_hits
+            cache.clear()  # force the engine rebuild path through artifacts
+            scheduler.pool.close()  # drop the warm engine with its factor
+            job = scheduler.result(
+                scheduler.submit(JobRequest(spec, columns=(held_out,))),
+                wait_s=600.0,
+            )
+            record["fresh_column"] = {
+                "status": job.status,
+                "new_solves": int(scheduler.attributed_solves - before),
+                "artifact_hits": int(cache.artifact_hits - hits_before),
+            }
+
+            # counter-pinned factor probes: a bare solver over the same spec
+            # must attach the artifact (zero rebuilds) while the store is
+            # wired, and rebuild from scratch once it is not
+            cache.clear()
+            warm_probe = spec.build()
+            warm_probe.prepare_direct()
+            record["warm_probe_rebuilds"] = int(warm_probe.stats.n_factor_rebuilds)
+        factor_cache().clear()  # artifact store now detached (scheduler closed)
+        cold_probe = spec.build()
+        cold_probe.prepare_direct()
+        record["cold_probe_rebuilds"] = int(cold_probe.stats.n_factor_rebuilds)
+
+        # --- crash replay: accept, "crash", restart, journal replays --------
+        factor_cache().clear()
+        crashed = Scheduler(
+            n_workers=n_workers, persistence=state_dir, autostart=False
+        )
+        crash_job_id = crashed.submit(JobRequest(spec, columns=client_columns[0]))
+        # simulated crash: the journaled accept survives on disk, but the
+        # job is never served or marked terminal (close() deliberately
+        # skips the terminal mark for still-pending work)
+        crashed.close()
+        with Scheduler(n_workers=n_workers, persistence=state_dir) as scheduler:
+            job = scheduler.result(crash_job_id, wait_s=600.0)
+            replay_diff = (
+                float(np.abs(job.result - cold_results[0]).max() / scale)
+                if job.result is not None
+                else float("inf")
+            )
+            record["replay"] = {
+                "journal_replayed": int(scheduler.metrics.jobs_replayed),
+                "status": job.status,
+                "new_solves": int(scheduler.attributed_solves),
+                "max_abs_diff_rel": replay_diff,
+            }
+    finally:
+        factor_cache().clear()
+        factor_cache().set_artifact_store(None)  # never outlive the state dir
+        if tmp is not None:
+            tmp.cleanup()
     record["cpu_count"] = int(os.cpu_count() or 1)
     return record
 

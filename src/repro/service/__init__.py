@@ -12,7 +12,11 @@ it, coalescing concurrent requests over the same substrate fingerprint into
 shared ``solve_many`` blocks.  :mod:`~repro.service.server` adds a stdlib
 HTTP/JSON front end plus a blocking client, and
 :mod:`~repro.service.metrics` aggregates the operational counters behind the
-``/stats`` endpoint.
+``/stats`` endpoint.  :mod:`~repro.service.persistence` makes the amortised
+state durable: point the scheduler (or ``python -m repro.service
+--state-dir``) at a directory and the solved-column corpus, factor
+artifacts and accepted-job journal survive restarts — a warm restart serves
+the previous corpus with zero new solves and zero factor rebuilds.
 
 Quickstart::
 
@@ -32,17 +36,22 @@ or in-process, without HTTP::
         job = scheduler.result(job_id, wait_s=60.0)
 """
 
-from .jobs import Job, JobRequest, JobState
+from .jobs import Job, JobExpiredError, JobRequest, JobState
 from .metrics import ServiceMetrics
+from .persistence import JobJournal, ServicePersistence, SqliteResultBackend
 from .result_store import ResultStore
 from .scheduler import ExtractorPool, Scheduler
 from .server import ExtractionServer, ServiceClient
 
 __all__ = [
     "Job",
+    "JobExpiredError",
     "JobRequest",
     "JobState",
     "ServiceMetrics",
+    "JobJournal",
+    "ServicePersistence",
+    "SqliteResultBackend",
     "ResultStore",
     "ExtractorPool",
     "Scheduler",

@@ -24,10 +24,19 @@ import numpy as np
 
 from ..substrate.parallel import SolverSpec
 
-__all__ = ["JobRequest", "JobState", "Job"]
+__all__ = ["JobRequest", "JobState", "Job", "JobExpiredError"]
 
 #: terminal and non-terminal states a job moves through
 JOB_STATES = ("pending", "running", "done", "failed", "cancelled", "timeout")
+
+
+class JobExpiredError(KeyError):
+    """A job id that once existed but was dropped by finished-job retention.
+
+    Subclasses :class:`KeyError` so callers treating "gone" uniformly keep
+    working, while the HTTP layer can answer 410 (expired) instead of the
+    404 it sends for ids that never existed.
+    """
 
 
 class JobState:
@@ -169,7 +178,15 @@ class Job:
         return self.finished_at - self.submitted_at
 
     def snapshot(self) -> dict:
-        """JSON-compatible view of the job (arrays as nested lists)."""
+        """JSON-compatible view of the job (arrays as nested lists).
+
+        Result fields are exposed only in terminal states: a poll racing
+        the assembly of a RUNNING job must never observe partially written
+        ``result_columns``/``result``/``pair_values``.  Call under the
+        scheduler lock (:meth:`~repro.service.scheduler.Scheduler.snapshot`)
+        so status and result fields are read consistently.
+        """
+        terminal = self.status in JobState.TERMINAL
         return {
             "job_id": self.job_id,
             "status": self.status,
@@ -179,10 +196,16 @@ class Job:
             "finished_at": self.finished_at,
             "latency_s": self.latency_s,
             "error": self.error,
-            "columns": list(self.result_columns) if self.result_columns else None,
-            "result": self.result.tolist() if self.result is not None else None,
+            "columns": (
+                list(self.result_columns) if terminal and self.result_columns else None
+            ),
+            "result": (
+                self.result.tolist() if terminal and self.result is not None else None
+            ),
             "pairs": [list(p) for p in self.request.pairs] if self.request.pairs else None,
             "pair_values": (
-                self.pair_values.tolist() if self.pair_values is not None else None
+                self.pair_values.tolist()
+                if terminal and self.pair_values is not None
+                else None
             ),
         }

@@ -61,6 +61,7 @@ class ServiceMetrics:
         self.jobs_failed = 0
         self.jobs_cancelled = 0
         self.jobs_timeout = 0
+        self.jobs_replayed = 0  # journaled jobs re-queued at startup
         #: coalescing bookkeeping
         self.batches = 0
         self.batch_jobs = 0  # jobs served across all batches
@@ -76,6 +77,11 @@ class ServiceMetrics:
     def record_submit(self, n: int = 1) -> None:
         with self._lock:
             self.jobs_submitted += n
+
+    def record_replay(self, n: int = 1) -> None:
+        """Count journaled jobs replayed into the queue at startup."""
+        with self._lock:
+            self.jobs_replayed += n
 
     def record_outcome(self, status: str, latency_s: float | None = None) -> None:
         """Count one terminal job transition and its end-to-end latency."""
@@ -121,8 +127,15 @@ class ServiceMetrics:
         queue_depth: int | None = None,
         store_info: dict | None = None,
         extra: dict | None = None,
+        running: int | None = None,
     ) -> dict:
-        """One JSON-compatible view of every counter this service tracks."""
+        """One JSON-compatible view of every counter this service tracks.
+
+        ``running`` is the scheduler's live RUNNING-job count; ``pending``
+        subtracts it, so the two states are no longer conflated (a job mid-
+        solve used to be reported as pending).
+        """
+        n_running = int(running or 0)
         with self._lock:
             doc: dict = {
                 "uptime_s": time.monotonic() - self.started_at,
@@ -132,12 +145,15 @@ class ServiceMetrics:
                     "failed": self.jobs_failed,
                     "cancelled": self.jobs_cancelled,
                     "timeout": self.jobs_timeout,
+                    "replayed": self.jobs_replayed,
+                    "running": n_running,
                     "pending": (
                         self.jobs_submitted
                         - self.jobs_done
                         - self.jobs_failed
                         - self.jobs_cancelled
                         - self.jobs_timeout
+                        - n_running
                     ),
                 },
                 "coalescing": {

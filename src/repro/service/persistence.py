@@ -1,0 +1,339 @@
+"""Durable state for the extraction service: corpus, artifacts, journal.
+
+Everything the service amortises across requests — solved ``G`` columns in
+the :class:`~repro.service.result_store.ResultStore`, factorisations in the
+process-wide :class:`~repro.substrate.factor_cache.FactorCache`, accepted
+jobs in the scheduler queue — used to die with the process.  This module
+makes that state survive a restart behind one :class:`ServicePersistence`
+object rooted at a state directory:
+
+``results.sqlite``
+    :class:`SqliteResultBackend` — every solved conductance column keyed
+    ``(fingerprint digest, column)``, with the in-RAM LRU acting as a
+    read-through/write-through cache.  A restarted service serves a
+    previously solved column set with **zero** new attributed solves.
+``artifacts/``
+    :class:`~repro.substrate.factor_cache.FactorArtifactStore` — serialised
+    factor payloads (the same flattened arrays the shared-memory factor
+    plane ships) under their cache-key digest, consulted by the factor
+    cache on miss, so a warm start attaches instead of refactoring.
+``journal.jsonl``
+    :class:`JobJournal` — accepted :class:`~repro.service.jobs.JobRequest`
+    payloads appended (fsync'd) *before* the submit call acknowledges,
+    marked terminal on finalize, and replayed on startup, so a crash
+    mid-drain loses no accepted work (the gridworks idiom: persist every
+    event before acting on it).
+``tiled_scratch/``
+    default spill directory for out-of-core tiled factors, so their scratch
+    shares the state volume (``REPRO_TILED_SCRATCH_DIR`` still overrides).
+
+The default remains in-memory: a scheduler constructed without a
+persistence object (or a server without ``--state-dir``) behaves exactly as
+before — no files are touched, no counters change.
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+import re
+import sqlite3
+import threading
+import warnings
+from pathlib import Path
+
+import numpy as np
+
+from ..substrate.factor_cache import FactorArtifactStore
+from ..substrate.tiled import set_default_scratch_dir, tiled_scratch_dir
+from .jobs import JobRequest
+
+__all__ = ["ServicePersistence", "SqliteResultBackend", "JobJournal"]
+
+#: scheduler job-id format; the journal recovers the sequence counter from it
+_JOB_ID_RE = re.compile(r"^job-(\d+)$")
+
+
+def _fingerprint_digest(fingerprint: tuple) -> str:
+    """Stable text key of one substrate fingerprint (sqlite column value)."""
+    return hashlib.blake2b(repr(fingerprint).encode(), digest_size=16).hexdigest()
+
+
+class SqliteResultBackend:
+    """Solved-column corpus in one sqlite file, keyed ``(fingerprint, column)``.
+
+    The stdlib ``sqlite3`` module is the storage engine (the related repos'
+    long-running daemons keep cluster state the same way): one table of
+    float64 blobs, WAL journaling so the dispatcher's writes never block a
+    concurrent reader, and a single connection shared across threads behind
+    a lock (``check_same_thread=False`` — the HTTP handler threads and the
+    dispatcher both touch the store).
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute("PRAGMA synchronous=NORMAL")
+        self._conn.execute(
+            "CREATE TABLE IF NOT EXISTS result_columns ("
+            "  fingerprint TEXT NOT NULL,"
+            "  column_index INTEGER NOT NULL,"
+            "  n_values INTEGER NOT NULL,"
+            "  data BLOB NOT NULL,"
+            "  PRIMARY KEY (fingerprint, column_index)"
+            ")"
+        )
+        self._conn.commit()
+        self.loads = 0
+        self.load_misses = 0
+        self.saves = 0
+
+    # ------------------------------------------------------------------ access
+    def save(self, fingerprint: tuple, column: int, values: np.ndarray) -> None:
+        """Persist one solved column (idempotent upsert)."""
+        data = np.ascontiguousarray(values, dtype=np.float64).tobytes()
+        with self._lock:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO result_columns "
+                "(fingerprint, column_index, n_values, data) VALUES (?, ?, ?, ?)",
+                (_fingerprint_digest(fingerprint), int(column), len(values), data),
+            )
+            self._conn.commit()
+            self.saves += 1
+
+    def load(self, fingerprint: tuple, column: int) -> np.ndarray | None:
+        """One persisted column as a read-only float64 array, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT data FROM result_columns "
+                "WHERE fingerprint = ? AND column_index = ?",
+                (_fingerprint_digest(fingerprint), int(column)),
+            ).fetchone()
+            if row is None:
+                self.load_misses += 1
+                return None
+            self.loads += 1
+        values = np.frombuffer(row[0], dtype=np.float64)
+        values.flags.writeable = False
+        return values
+
+    def contains(self, fingerprint: tuple, column: int) -> bool:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT 1 FROM result_columns "
+                "WHERE fingerprint = ? AND column_index = ?",
+                (_fingerprint_digest(fingerprint), int(column)),
+            ).fetchone()
+        return row is not None
+
+    def delete(self, fingerprint: tuple | None = None) -> int:
+        """Drop one substrate's columns (or all); returns rows removed."""
+        with self._lock:
+            if fingerprint is None:
+                cursor = self._conn.execute("DELETE FROM result_columns")
+            else:
+                cursor = self._conn.execute(
+                    "DELETE FROM result_columns WHERE fingerprint = ?",
+                    (_fingerprint_digest(fingerprint),),
+                )
+            self._conn.commit()
+            return cursor.rowcount
+
+    # --------------------------------------------------------------- lifecycle
+    def info(self) -> dict:
+        with self._lock:
+            rows, nbytes = self._conn.execute(
+                "SELECT COUNT(*), COALESCE(SUM(LENGTH(data)), 0) FROM result_columns"
+            ).fetchone()
+            return {
+                "path": str(self.path),
+                "columns": int(rows),
+                "bytes": int(nbytes),
+                "loads": self.loads,
+                "load_misses": self.load_misses,
+                "saves": self.saves,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+
+class JobJournal:
+    """Append-only JSONL log of accepted jobs and their terminal outcomes.
+
+    Two event shapes::
+
+        {"event": "accept", "job_id": ..., "priority": ..., "request": <b64 pickle>}
+        {"event": "terminal", "job_id": ..., "status": ...}
+
+    Accept events are flushed *and* fsync'd before :meth:`record_accept`
+    returns — the scheduler only acknowledges a submit after the request is
+    durable, so a crash at any later point can replay it.  Terminal marks
+    are flush-only (losing one merely re-runs an already-solved job against
+    a warm corpus, which costs zero solves).
+
+    :meth:`recover` reads the journal back: accepted-but-not-terminal jobs
+    in acceptance order (the replay set), every job id ever journaled (so
+    the scheduler can distinguish *expired* from *never existed*), and the
+    largest job sequence number (so replayed ids are never reissued).
+    Corrupted or truncated lines — the tail of a crash mid-write — are
+    skipped with a warning, never fatal.
+    """
+
+    def __init__(self, path: str | os.PathLike) -> None:
+        self.path = Path(path)
+        self._lock = threading.Lock()
+        self._fh = open(self.path, "a", encoding="utf-8")
+        self.accepts = 0
+        self.terminals = 0
+        self.corrupt_skipped = 0
+
+    # --------------------------------------------------------------- recording
+    def record_accept(self, job_id: str, request: JobRequest) -> None:
+        """Durably journal one accepted request *before* the submit ack."""
+        line = json.dumps(
+            {
+                "event": "accept",
+                "job_id": job_id,
+                "priority": int(request.priority),
+                "request": base64.b64encode(pickle.dumps(request)).decode(),
+            }
+        )
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            os.fsync(self._fh.fileno())
+            self.accepts += 1
+
+    def record_terminal(self, job_id: str, status: str) -> None:
+        """Mark one journaled job finished (flush-only; replay is idempotent)."""
+        line = json.dumps({"event": "terminal", "job_id": job_id, "status": status})
+        with self._lock:
+            self._fh.write(line + "\n")
+            self._fh.flush()
+            self.terminals += 1
+
+    # ---------------------------------------------------------------- recovery
+    def recover(self) -> tuple[list[tuple[str, JobRequest]], set[str], int]:
+        """``(replay, known_ids, max_seq)`` from the journal on disk.
+
+        ``replay`` lists ``(job_id, request)`` for every accepted job with
+        no terminal mark, in acceptance order; ``known_ids`` is every job id
+        the journal has ever seen; ``max_seq`` is the largest numeric job
+        sequence (0 when none parse).
+        """
+        accepted: "dict[str, JobRequest]" = {}
+        known_ids: set[str] = set()
+        max_seq = 0
+        if not self.path.exists():
+            return [], known_ids, max_seq
+        with open(self.path, "r", encoding="utf-8") as fh:
+            for lineno, line in enumerate(fh, start=1):
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    doc = json.loads(line)
+                    event = doc["event"]
+                    job_id = doc["job_id"]
+                    if event == "accept":
+                        request = pickle.loads(base64.b64decode(doc["request"]))
+                        if not isinstance(request, JobRequest):
+                            raise TypeError("journal entry is not a JobRequest")
+                        accepted[job_id] = request
+                    elif event == "terminal":
+                        accepted.pop(job_id, None)
+                    else:
+                        raise ValueError(f"unknown journal event {event!r}")
+                except Exception as exc:  # noqa: BLE001 - crash-torn tail lines
+                    self.corrupt_skipped += 1
+                    warnings.warn(
+                        f"skipping corrupt journal entry at {self.path}:{lineno}: "
+                        f"{type(exc).__name__}: {exc}",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    continue
+                known_ids.add(job_id)
+                match = _JOB_ID_RE.match(job_id)
+                if match:
+                    max_seq = max(max_seq, int(match.group(1)))
+        return list(accepted.items()), known_ids, max_seq
+
+    # --------------------------------------------------------------- lifecycle
+    def info(self) -> dict:
+        with self._lock:
+            return {
+                "path": str(self.path),
+                "accepts": self.accepts,
+                "terminals": self.terminals,
+                "corrupt_skipped": self.corrupt_skipped,
+                "bytes": self.path.stat().st_size if self.path.exists() else 0,
+            }
+
+    def close(self) -> None:
+        with self._lock:
+            if not self._fh.closed:
+                self._fh.close()
+
+
+class ServicePersistence:
+    """One state directory holding every durable piece of the service.
+
+    Construct with a directory path (created on demand) and hand the object
+    to :class:`~repro.service.scheduler.Scheduler` (or let the scheduler
+    build one from a path).  Owns lifecycle: :meth:`close` releases the
+    sqlite connection and the journal handle, and restores the tiled
+    scratch default if this object set it.
+    """
+
+    def __init__(self, state_dir: str | os.PathLike) -> None:
+        self.state_dir = Path(state_dir)
+        self.state_dir.mkdir(parents=True, exist_ok=True)
+        self.results = SqliteResultBackend(self.state_dir / "results.sqlite")
+        self.artifacts = FactorArtifactStore(self.state_dir / "artifacts")
+        self.journal = JobJournal(self.state_dir / "journal.jsonl")
+        self._scratch_dir = str(self.state_dir / "tiled_scratch")
+        if not os.environ.get("REPRO_TILED_SCRATCH_DIR"):
+            set_default_scratch_dir(self._scratch_dir)
+        self._closed = False
+
+    def writable(self) -> bool:
+        """True when the state directory currently accepts writes (health)."""
+        probe = self.state_dir / ".writable_probe"
+        try:
+            with open(probe, "w") as fh:
+                fh.write("ok")
+            probe.unlink()
+            return True
+        except OSError:
+            return False
+
+    def info(self) -> dict:
+        return {
+            "state_dir": str(self.state_dir),
+            "results": self.results.info(),
+            "artifacts": self.artifacts.info(),
+            "journal": self.journal.info(),
+        }
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self.results.close()
+        self.journal.close()
+        if tiled_scratch_dir() == self._scratch_dir:
+            set_default_scratch_dir(None)
+
+    def __enter__(self) -> "ServicePersistence":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

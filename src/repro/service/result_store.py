@@ -13,6 +13,13 @@ partial overlaps hit): once the budget is exceeded the least-recently-used
 columns are dropped, oldest first.  Stored columns are marked read-only —
 many jobs may hold views of the same array.
 
+With a persistent backend attached (the
+:class:`~repro.service.persistence.SqliteResultBackend` of a service state
+dir) the LRU becomes a read-through/write-through cache: a RAM miss
+consults the corpus on disk before reporting a miss, and every ``put``
+lands on disk as well, so LRU eviction never loses a solved column and a
+restarted service serves the whole corpus with zero new solves.
+
 Environment knob: ``REPRO_RESULT_STORE_BYTES`` overrides the default budget
 (256 MiB) used by schedulers that do not pass an explicit store.
 """
@@ -21,6 +28,7 @@ from __future__ import annotations
 
 import os
 import threading
+import warnings
 from collections import OrderedDict
 
 import numpy as np
@@ -31,40 +39,89 @@ DEFAULT_STORE_BYTES = 256 * 1024 * 1024
 
 
 def default_store_bytes() -> int:
-    """Store budget in bytes (env: ``REPRO_RESULT_STORE_BYTES``)."""
+    """Store budget in bytes (env: ``REPRO_RESULT_STORE_BYTES``).
+
+    A malformed or negative value is rejected with a warning (falling back
+    to the default) instead of being silently ignored — a typo'd budget
+    must not masquerade as a deliberate one.
+    """
     env = os.environ.get("REPRO_RESULT_STORE_BYTES")
     if env:
         try:
-            return int(env)
-        except ValueError:
-            pass
+            value = int(env)
+            if value < 0:
+                raise ValueError("budget must be >= 0")
+            return value
+        except ValueError as exc:
+            warnings.warn(
+                f"ignoring invalid REPRO_RESULT_STORE_BYTES={env!r} ({exc}); "
+                f"using the default of {DEFAULT_STORE_BYTES} bytes",
+                RuntimeWarning,
+                stacklevel=2,
+            )
     return DEFAULT_STORE_BYTES
 
 
 class ResultStore:
-    """LRU cache of solved ``G`` columns keyed ``(fingerprint, column)``."""
+    """LRU cache of solved ``G`` columns keyed ``(fingerprint, column)``.
 
-    def __init__(self, max_bytes: int | None = None) -> None:
+    ``backend`` (or :meth:`attach_backend`) plugs in a persistent corpus —
+    anything with ``save/load/contains/delete`` over ``(fingerprint,
+    column)`` float arrays, in practice the sqlite backend of a service
+    state dir.  Without one the store is the same purely in-memory LRU as
+    before.
+    """
+
+    def __init__(self, max_bytes: int | None = None, backend=None) -> None:
         self.max_bytes = int(max_bytes if max_bytes is not None else default_store_bytes())
         self._columns: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
         self._bytes = 0
         self._lock = threading.RLock()
+        self._backend = backend
         self.hits = 0
         self.misses = 0
         self.evictions = 0
+        self.disk_hits = 0
+        self.disk_misses = 0
+
+    @property
+    def backend(self):
+        return self._backend
+
+    def attach_backend(self, backend) -> None:
+        """Attach (or detach, with ``None``) the persistent column corpus."""
+        with self._lock:
+            self._backend = backend
 
     # ------------------------------------------------------------------ access
     def get(self, fingerprint: tuple, column: int) -> np.ndarray | None:
-        """One stored column (refreshing recency), or ``None``; counts hit/miss."""
+        """One stored column (refreshing recency), or ``None``; counts hit/miss.
+
+        On a RAM miss with a backend attached, the persistent corpus is
+        consulted and a disk hit is re-admitted to the LRU — it counts as a
+        (disk) hit, not a miss, because no solve is needed.
+        """
         key = (fingerprint, int(column))
         with self._lock:
             value = self._columns.get(key)
-            if value is None:
-                self.misses += 1
-                return None
-            self._columns.move_to_end(key)
-            self.hits += 1
-            return value
+            if value is not None:
+                self._columns.move_to_end(key)
+                self.hits += 1
+                return value
+            backend = self._backend
+        if backend is not None:
+            loaded = backend.load(fingerprint, column)
+            if loaded is not None:
+                with self._lock:
+                    self.disk_hits += 1
+                    self.hits += 1
+                    self._admit_locked(key, loaded)
+                return loaded
+            with self._lock:
+                self.disk_misses += 1
+        with self._lock:
+            self.misses += 1
+        return None
 
     def get_many(
         self, fingerprint: tuple, columns: tuple[int, ...]
@@ -77,29 +134,44 @@ class ResultStore:
                 found[column] = value
         return found
 
+    def _admit_locked(self, key: tuple, values: np.ndarray) -> None:
+        """Insert one read-only array into the LRU, evicting down to budget."""
+        if values.nbytes > self.max_bytes:
+            return  # larger than the whole budget: serve, don't store
+        old = self._columns.pop(key, None)
+        if old is not None:
+            self._bytes -= old.nbytes
+        self._columns[key] = values
+        self._bytes += values.nbytes
+        while self._bytes > self.max_bytes and self._columns:
+            _, victim = self._columns.popitem(last=False)
+            self._bytes -= victim.nbytes
+            self.evictions += 1
+
     def put(self, fingerprint: tuple, column: int, values: np.ndarray) -> np.ndarray:
-        """Store one solved column (read-only copy); returns the stored array."""
+        """Store one solved column (read-only copy); returns the stored array.
+
+        With a backend attached the column is also written through to the
+        persistent corpus (outside the lock — sqlite I/O must not block
+        concurrent readers of the LRU).
+        """
         values = np.array(values, dtype=float)  # private copy, never a view
         values.flags.writeable = False
         key = (fingerprint, int(column))
         with self._lock:
-            if values.nbytes > self.max_bytes:
-                return values  # larger than the whole budget: serve, don't store
-            old = self._columns.pop(key, None)
-            if old is not None:
-                self._bytes -= old.nbytes
-            self._columns[key] = values
-            self._bytes += values.nbytes
-            while self._bytes > self.max_bytes and self._columns:
-                _, victim = self._columns.popitem(last=False)
-                self._bytes -= victim.nbytes
-                self.evictions += 1
+            self._admit_locked(key, values)
+            backend = self._backend
+        if backend is not None:
+            backend.save(fingerprint, column, values)
         return values
 
     def contains(self, fingerprint: tuple, column: int) -> bool:
         """Pure membership probe — no counters, no recency update."""
         with self._lock:
-            return (fingerprint, int(column)) in self._columns
+            if (fingerprint, int(column)) in self._columns:
+                return True
+            backend = self._backend
+        return backend is not None and backend.contains(fingerprint, column)
 
     # ------------------------------------------------------------- maintenance
     def set_budget(self, max_bytes: int) -> None:
@@ -111,16 +183,29 @@ class ResultStore:
                 self._bytes -= victim.nbytes
                 self.evictions += 1
 
-    def clear(self, fingerprint: tuple | None = None) -> None:
-        """Drop everything, or only one substrate's columns; counters survive."""
+    def clear(self, fingerprint: tuple | None = None) -> int:
+        """Drop everything, or only one substrate's columns; counters survive.
+
+        Every dropped column counts as an eviction (both clear paths used to
+        bypass the counter).  With a backend attached the persistent corpus
+        is cleared too.  Returns the number of columns evicted from RAM.
+        """
         with self._lock:
             if fingerprint is None:
+                dropped = len(self._columns)
                 self._columns.clear()
                 self._bytes = 0
-                return
-            for key in [k for k in self._columns if k[0] == fingerprint]:
-                victim = self._columns.pop(key)
-                self._bytes -= victim.nbytes
+            else:
+                dropped = 0
+                for key in [k for k in self._columns if k[0] == fingerprint]:
+                    victim = self._columns.pop(key)
+                    self._bytes -= victim.nbytes
+                    dropped += 1
+            self.evictions += dropped
+            backend = self._backend
+        if backend is not None:
+            backend.delete(fingerprint)
+        return dropped
 
     def __len__(self) -> int:
         with self._lock:
@@ -129,14 +214,20 @@ class ResultStore:
     def info(self) -> dict:
         """Occupancy and hit/miss counters (service metrics / benchmarks)."""
         with self._lock:
-            return {
+            doc = {
                 "columns": len(self._columns),
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
                 "hits": self.hits,
                 "misses": self.misses,
                 "evictions": self.evictions,
+                "disk_hits": self.disk_hits,
+                "disk_misses": self.disk_misses,
             }
+            backend = self._backend
+        if backend is not None:
+            doc["backend"] = backend.info()
+        return doc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (

@@ -29,10 +29,20 @@ first), jobs may be cancelled while queued, and a queued job past its
 ``timeout_s`` deadline is failed with the ``"timeout"`` status instead of
 occupying the solver.  For deterministic tests construct with
 ``autostart=False`` and call :meth:`step` to run drain cycles by hand.
+
+With a :class:`~repro.service.persistence.ServicePersistence` attached
+(``persistence=`` object or state-dir path) the scheduler becomes durable:
+the result store writes through to the sqlite corpus, the factor cache
+consults the on-disk artifact store before rebuilding, every accepted
+request is journaled (fsync'd) *before* the submit acknowledges, and
+journaled-but-unfinished jobs are replayed at construction — so a crash or
+restart loses no accepted work and re-serves the solved corpus with zero
+new solves.
 """
 
 from __future__ import annotations
 
+import os
 import threading
 import time
 from collections import OrderedDict, deque
@@ -41,10 +51,12 @@ from typing import Iterable
 import numpy as np
 
 from ..substrate.extraction import extract_columns
+from ..substrate.factor_cache import factor_cache
 from ..substrate.parallel import ParallelExtractor, SolverSpec
 from ..substrate.solver_base import CountingSolver, SolveStats
-from .jobs import Job, JobRequest, JobState
+from .jobs import Job, JobExpiredError, JobRequest, JobState
 from .metrics import ServiceMetrics
+from .persistence import ServicePersistence
 from .result_store import ResultStore
 
 __all__ = ["Scheduler", "ExtractorPool", "ITERATION_HISTORY"]
@@ -192,6 +204,11 @@ class Scheduler:
         bytes of retained result arrays exceed the bound (a service serving
         wide column blocks must not accumulate result memory forever — the
         store is byte-budgeted, so its feed is too).
+    persistence:
+        Durable state: a
+        :class:`~repro.service.persistence.ServicePersistence`, a state-dir
+        path (one is built and owned by the scheduler), or ``None`` for the
+        previous purely in-memory behaviour.
     """
 
     def __init__(
@@ -205,7 +222,14 @@ class Scheduler:
         prepare_tiled: bool = False,
         max_jobs_retained: int = 10_000,
         max_result_bytes_retained: int = 256 * 1024 * 1024,
+        persistence: "ServicePersistence | str | os.PathLike | None" = None,
     ) -> None:
+        self._owns_persistence = persistence is not None and not isinstance(
+            persistence, ServicePersistence
+        )
+        if persistence is not None and not isinstance(persistence, ServicePersistence):
+            persistence = ServicePersistence(persistence)
+        self.persistence = persistence
         self.store = store if store is not None else ResultStore()
         self.metrics = ServiceMetrics()
         self.pool = ExtractorPool(
@@ -222,12 +246,24 @@ class Scheduler:
         self._terminal: "deque[str]" = deque()
         self._retained_bytes = 0
         self._seq = 0
+        self._running = 0
+        #: every job id this service has ever accepted (journal + retention
+        #: drops) — lets :meth:`result` answer "expired", not "never existed"
+        self._known_ids: set[str] = set()
         self._cv = threading.Condition()
         self._drain_lock = threading.Lock()
         self._closing = False
         #: cumulative CountingSolver attribution of every batch this
         #: scheduler ran (equals fresh columns solved; pinned by tests)
         self.attributed_solves = 0
+        self._attached_artifacts = False
+        if self.persistence is not None:
+            self.store.attach_backend(self.persistence.results)
+            cache = factor_cache()
+            if cache.artifact_store is None:
+                cache.set_artifact_store(self.persistence.artifacts)
+                self._attached_artifacts = True
+            self._replay_journal()
         self._thread: threading.Thread | None = None
         if autostart:
             self._thread = threading.Thread(
@@ -235,9 +271,39 @@ class Scheduler:
             )
             self._thread.start()
 
+    def _replay_journal(self) -> None:
+        """Re-queue journaled jobs that never reached a terminal state."""
+        replay, known_ids, max_seq = self.persistence.journal.recover()
+        with self._cv:
+            self._known_ids.update(known_ids)
+            self._seq = max(self._seq, max_seq)
+            now = time.monotonic()
+            for job_id, request in replay:
+                job = Job(
+                    job_id=job_id,
+                    request=request,
+                    submitted_at=now,  # the deadline clock restarts on replay
+                    priority=int(request.priority),
+                    done_event=threading.Event(),
+                )
+                self._jobs[job_id] = job
+                self._pending.append(job_id)
+            if replay:
+                self._cv.notify_all()
+        for _ in replay:
+            self.metrics.record_submit()
+            self.metrics.record_replay()
+
     # ----------------------------------------------------------------- clients
     def submit(self, request: JobRequest) -> str:
-        """Queue one request; returns the job id immediately."""
+        """Queue one request; returns the job id immediately.
+
+        With persistence attached the request is journaled — flushed and
+        fsync'd — *before* the id is acknowledged, so an accepted job
+        survives any later crash.  The fsync runs outside the scheduler
+        lock (disk latency must not stall the dispatcher); the id is
+        reserved first, the job enqueued after the journal write lands.
+        """
         if not isinstance(request, JobRequest):
             raise TypeError("submit() takes a JobRequest")
         with self._cv:
@@ -245,6 +311,17 @@ class Scheduler:
                 raise RuntimeError("scheduler is closed")
             self._seq += 1
             job_id = f"job-{self._seq:06d}"
+        journal = self.persistence.journal if self.persistence is not None else None
+        if journal is not None:
+            journal.record_accept(job_id, request)
+        with self._cv:
+            if self._closing:
+                # closed between the id reservation and the enqueue: void
+                # the journal entry so a restart does not replay a job the
+                # client never got an id for
+                if journal is not None:
+                    journal.record_terminal(job_id, JobState.CANCELLED)
+                raise RuntimeError("scheduler is closed")
             job = Job(
                 job_id=job_id,
                 request=request,
@@ -254,6 +331,7 @@ class Scheduler:
             )
             self._jobs[job_id] = job
             self._pending.append(job_id)
+            self._known_ids.add(job_id)
             self._cv.notify_all()
         self.metrics.record_submit()
         return job_id
@@ -275,13 +353,32 @@ class Scheduler:
         ``wait_s=None`` returns the current state immediately; a positive
         value blocks up to that long.  The returned object is the live
         record — read ``status`` / ``result`` / ``pair_values`` from it.
+        Raises :class:`~repro.service.jobs.JobExpiredError` (a ``KeyError``
+        subclass) for an id that existed but was dropped by finished-job
+        retention, plain ``KeyError`` for one that never existed.
         """
-        job = self._jobs.get(job_id)
-        if job is None:
-            raise KeyError(f"unknown job id {job_id!r}")
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is None:
+                if job_id in self._known_ids:
+                    raise JobExpiredError(
+                        f"job id {job_id!r} expired (dropped by retention)"
+                    )
+                raise KeyError(f"unknown job id {job_id!r}")
         if wait_s is not None and job.status not in JobState.TERMINAL:
             job.done_event.wait(timeout=wait_s)
         return job
+
+    def snapshot(self, job_id: str, wait_s: float | None = None) -> dict:
+        """A consistent JSON view of one job, taken under the scheduler lock.
+
+        This is what the ``/result`` endpoint serves: status and result
+        fields are read atomically, so a poll racing a finishing batch can
+        never observe a partially assembled result.
+        """
+        job = self.result(job_id, wait_s=wait_s)
+        with self._cv:
+            return job.snapshot()
 
     def wait(self, job_ids: Iterable[str], timeout_s: float = 60.0) -> list[Job]:
         """Block until every listed job is terminal (or the deadline passes)."""
@@ -299,14 +396,45 @@ class Scheduler:
 
     def stats(self) -> dict:
         """Aggregated metrics snapshot (the ``/stats`` endpoint body)."""
+        with self._cv:
+            queue_depth = len(self._pending)
+            running = self._running
+        extra = {
+            "engines": self.pool.info(),
+            "attributed_solves": self.attributed_solves,
+        }
+        if self.persistence is not None:
+            extra["persistence"] = self.persistence.info()
         return self.metrics.snapshot(
-            queue_depth=self.queue_depth,
+            queue_depth=queue_depth,
             store_info=self.store.info(),
-            extra={
-                "engines": self.pool.info(),
-                "attributed_solves": self.attributed_solves,
-            },
+            running=running,
+            extra=extra,
         )
+
+    def health(self) -> dict:
+        """Liveness report (the ``/healthz`` endpoint body).
+
+        ``ok`` is true only while the service can actually make progress:
+        not closing, dispatcher thread alive (a manual ``autostart=False``
+        scheduler counts as healthy while open — its owner is the
+        dispatcher), and the state directory writable when persistence is
+        attached.
+        """
+        with self._cv:
+            closing = self._closing
+        thread = self._thread
+        dispatcher_alive = thread.is_alive() if thread is not None else not closing
+        doc = {
+            "ok": dispatcher_alive and not closing,
+            "dispatcher_alive": dispatcher_alive,
+            "closing": closing,
+        }
+        if self.persistence is not None:
+            writable = self.persistence.writable()
+            doc["state_dir_writable"] = writable
+            doc["ok"] = doc["ok"] and writable
+        return doc
 
     # --------------------------------------------------------------- lifecycle
     def close(self, timeout_s: float = 60.0) -> None:
@@ -328,7 +456,10 @@ class Scheduler:
                 job = self._jobs[job_id]
                 if job.status == JobState.PENDING:
                     job.error = "scheduler closed"
-                    self._finalize_locked(job, JobState.FAILED)
+                    # journal=False: a graceful shutdown must not mark
+                    # accepted-but-unserved work terminal — the journal
+                    # replays it on the next start instead of dropping it
+                    self._finalize_locked(job, JobState.FAILED, journal=False)
             self._cv.notify_all()
         if self._thread is not None:
             self._thread.join(timeout=timeout_s)
@@ -336,6 +467,15 @@ class Scheduler:
                 return
             self._thread = None
         self.pool.close()
+        if self.persistence is not None:
+            if self._attached_artifacts:
+                cache = factor_cache()
+                if cache.artifact_store is self.persistence.artifacts:
+                    cache.set_artifact_store(None)
+                self._attached_artifacts = False
+            self.store.attach_backend(None)
+            if self._owns_persistence:
+                self.persistence.close()
 
     def __enter__(self) -> "Scheduler":
         return self
@@ -412,6 +552,7 @@ class Scheduler:
             for job in jobs:
                 job.status = JobState.RUNNING
                 job.started_at = now
+                self._running += 1
         if not jobs:
             return
         try:
@@ -454,17 +595,29 @@ class Scheduler:
                         self._finalize_locked(job, JobState.FAILED)
 
     def _assemble(self, job: Job, columns: dict[int, np.ndarray]) -> None:
-        """Build one job's result views from the batch's solved columns."""
+        """Build one job's result views from the batch's solved columns.
+
+        The views are stacked into locals first and assigned to the job
+        under the scheduler lock together with the DONE transition, so a
+        concurrent :meth:`snapshot` never observes a partially written
+        result.
+        """
         request = job.request
+        result_columns = None
         if request.columns is not None:
-            job.result_columns = request.columns
+            result_columns = request.columns
         elif request.pairs is None:
-            job.result_columns = tuple(range(request.n_contacts))
-        if job.result_columns is not None:
-            job.result = np.column_stack([columns[c] for c in job.result_columns])
+            result_columns = tuple(range(request.n_contacts))
+        result = None
+        if result_columns is not None:
+            result = np.column_stack([columns[c] for c in result_columns])
+        pair_values = None
         if request.pairs is not None:
-            job.pair_values = np.array([columns[j][i] for i, j in request.pairs])
+            pair_values = np.array([columns[j][i] for i, j in request.pairs])
         with self._cv:
+            job.result_columns = result_columns
+            job.result = result
+            job.pair_values = pair_values
             self._finalize_locked(job, JobState.DONE)
 
     @staticmethod
@@ -476,18 +629,28 @@ class Scheduler:
             total += job.pair_values.nbytes
         return total
 
-    def _finalize_locked(self, job: Job, status: str) -> None:
-        """Move a job to a terminal state (caller holds ``_cv``)."""
+    def _finalize_locked(self, job: Job, status: str, journal: bool = True) -> None:
+        """Move a job to a terminal state (caller holds ``_cv``).
+
+        ``journal=False`` suppresses the journal's terminal mark — used at
+        close so accepted-but-unserved jobs replay on the next start.
+        """
+        if job.status == JobState.RUNNING:
+            self._running -= 1
         job.status = status
         job.finished_at = time.monotonic()
         job.done_event.set()
         self.metrics.record_outcome(status, latency_s=job.latency_s)
+        if journal and self.persistence is not None:
+            self.persistence.journal.record_terminal(job.job_id, status)
         self._terminal.append(job.job_id)
         self._retained_bytes += self._result_nbytes(job)
         while self._terminal and (
             len(self._terminal) > self.max_jobs_retained
             or self._retained_bytes > self.max_result_bytes_retained
         ):
-            stale = self._jobs.pop(self._terminal.popleft(), None)
+            dropped_id = self._terminal.popleft()
+            stale = self._jobs.pop(dropped_id, None)
             if stale is not None:
+                self._known_ids.add(dropped_id)
                 self._retained_bytes -= self._result_nbytes(stale)

@@ -15,9 +15,14 @@ GET       /result    ``?job_id=...&wait_s=...`` → job snapshot (status,
 GET       /stats     scheduler metrics snapshot (coalescing counters,
                      latency percentiles, solve stats, store/factor-cache
                      occupancy, queue depth)
-GET       /healthz   liveness probe: ``{"ok": true, "queue_depth",
-                     "uptime_s"}``
+GET       /healthz   liveness probe: ``{"ok", "dispatcher_alive",
+                     "closing", "queue_depth", "uptime_s"}`` (+ state-dir
+                     writability when persistence is on); HTTP 503 when
+                     the service cannot make progress
 ========  =========  ====================================================
+
+``/result`` answers 404 for a job id the service has never seen and 410
+(gone) for one that existed but was dropped by finished-job retention.
 
 Job requests travel as pickled :class:`~repro.service.jobs.JobRequest`
 payloads (base64 inside JSON) because they embed full layout/profile
@@ -35,10 +40,11 @@ import pickle
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from urllib.error import HTTPError
 from urllib.parse import parse_qs, urlparse
 from urllib.request import Request, urlopen
 
-from .jobs import JobRequest, JobState
+from .jobs import JobExpiredError, JobRequest, JobState
 from .scheduler import Scheduler
 
 __all__ = ["ExtractionServer", "ServiceClient", "main"]
@@ -91,13 +97,14 @@ def _make_handler(scheduler: Scheduler):
             url = urlparse(self.path)
             query = parse_qs(url.query)
             if url.path == "/healthz":
-                self._send_json(
+                health = scheduler.health()
+                health.update(
                     {
-                        "ok": True,
                         "queue_depth": scheduler.queue_depth,
                         "uptime_s": time.monotonic() - scheduler.metrics.started_at,
                     }
                 )
+                self._send_json(health, status=200 if health["ok"] else 503)
                 return
             if url.path == "/stats":
                 self._send_json(scheduler.stats())
@@ -113,13 +120,22 @@ def _make_handler(scheduler: Scheduler):
                     self._send_error_json(400, "wait_s must be a number")
                     return
                 try:
-                    job = scheduler.result(
+                    snapshot = scheduler.snapshot(
                         job_id, wait_s=wait_s if wait_s > 0 else None
                     )
+                except JobExpiredError:
+                    self._send_json(
+                        {
+                            "error": f"job id {job_id!r} expired (retention)",
+                            "status": "expired",
+                        },
+                        status=410,
+                    )
+                    return
                 except KeyError:
                     self._send_error_json(404, f"unknown job id {job_id!r}")
                     return
-                self._send_json(job.snapshot())
+                self._send_json(snapshot)
                 return
             self._send_error_json(404, f"unknown path {url.path!r}")
 
@@ -219,11 +235,21 @@ class ServiceClient:
         return self._post("/submit", {"request_pickle": blob})["job_id"]
 
     def result(self, job_id: str, wait_s: float = 0.0) -> dict:
-        """One job snapshot, optionally long-polling up to ``wait_s``."""
+        """One job snapshot, optionally long-polling up to ``wait_s``.
+
+        Raises :class:`~repro.service.jobs.JobExpiredError` when the server
+        answers 410 — the id existed but its record was dropped by
+        finished-job retention.
+        """
         path = f"/result?job_id={job_id}"
         if wait_s > 0:
             path += f"&wait_s={wait_s:g}"
-        return self._get(path, timeout_s=self.timeout_s + wait_s)
+        try:
+            return self._get(path, timeout_s=self.timeout_s + wait_s)
+        except HTTPError as exc:
+            if exc.code == 410:
+                raise JobExpiredError(f"job id {job_id!r} expired") from exc
+            raise
 
     def wait(self, job_id: str, timeout_s: float = 60.0) -> dict:
         """Block until the job is terminal; raises on timeout."""
@@ -294,6 +320,14 @@ def main(argv: list[str] | None = None) -> None:
         default=0.0,
         help="seconds to linger before draining the queue (batches near-simultaneous jobs)",
     )
+    parser.add_argument(
+        "--state-dir",
+        default=None,
+        help=(
+            "durable state directory (result corpus, factor artifacts, job "
+            "journal); omit for the in-memory default"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from .result_store import ResultStore
@@ -306,6 +340,7 @@ def main(argv: list[str] | None = None) -> None:
         max_solvers=args.max_solvers,
         store=store,
         coalesce_window_s=args.coalesce_window,
+        persistence=args.state_dir,
     )
     print(f"extraction service listening on {server.url} (Ctrl-C to stop)")
     try:

@@ -35,22 +35,36 @@ zero-copy numpy views over the same physical pages.  The parallel extraction
 engine uses this to ship the parent's factors to its worker pool instead of
 letting every worker refactor.
 
+On top of the in-RAM cache, an optional **content-addressed artifact store**
+(:class:`FactorArtifactStore`) persists factor payloads to disk under the
+digest of their cache key: the cache consults it on a miss before any caller
+rebuilds, and writes freshly built factors through to it, so a *restarted*
+process (whose RAM cache is empty) skips the cold factorisation entirely.
+The store reuses the same flatten/rebuild contract as the shared-memory
+plane, so exactly the shippable factor kinds are persistable.  No store is
+attached by default — the extraction service wires one in when it is given a
+state directory.
+
 Environment knob: ``REPRO_FACTOR_CACHE_BYTES`` overrides the default budget
 (512 MiB) for the process-wide instance.
 """
 
 from __future__ import annotations
 
+import json
 import os
 import threading
+import warnings
 from collections import OrderedDict
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Any, Callable, Hashable
 
 import numpy as np
 
 __all__ = [
     "FactorCache",
+    "FactorArtifactStore",
     "FactorPlane",
     "SharedFactorHandle",
     "SharedSparseLU",
@@ -60,9 +74,19 @@ __all__ = [
     "factor_cache_clear",
     "set_factor_cache_budget",
     "DEFAULT_BUDGET_BYTES",
+    "PERSISTED_FACTOR_KINDS",
 ]
 
 DEFAULT_BUDGET_BYTES = 512 * 1024 * 1024
+
+#: cache-entry kinds the artifact store persists — exactly the factor kinds
+#: the flatten/rebuild contract below can serialise (eigenvalue tables are
+#: cheap to rebuild and stay RAM-only)
+PERSISTED_FACTOR_KINDS = (
+    "bem_direct_factor",
+    "bem_tiled_factor",
+    "fd_direct_factor",
+)
 
 
 def _estimate_nbytes(value: Any) -> int:
@@ -114,6 +138,27 @@ class FactorCache:
         self.oversized = 0
         self._kind_hits: dict[str, int] = {}
         self._kind_misses: dict[str, int] = {}
+        #: optional on-disk artifact store consulted on a RAM miss (and
+        #: written through on put) for the persistable factor kinds
+        self._artifact_store: "FactorArtifactStore | None" = None
+        self.artifact_hits = 0
+        self.artifact_misses = 0
+
+    # ---------------------------------------------------------------- artifacts
+    @property
+    def artifact_store(self) -> "FactorArtifactStore | None":
+        return self._artifact_store
+
+    def set_artifact_store(self, store: "FactorArtifactStore | None") -> None:
+        """Attach (or detach, with ``None``) the on-disk artifact store.
+
+        While attached, :meth:`get` falls through to the store on a RAM miss
+        for the :data:`PERSISTED_FACTOR_KINDS` and :meth:`put` writes freshly
+        built factors through to it — so a restarted process warm-starts its
+        factors from disk instead of refactoring.
+        """
+        with self._lock:
+            self._artifact_store = store
 
     # ------------------------------------------------------------------ config
     def set_budget(self, max_bytes: int) -> None:
@@ -136,18 +181,39 @@ class FactorCache:
 
     # ------------------------------------------------------------------ access
     def get(self, key: Hashable, default: Any = None) -> Any:
-        """Look up ``key``, refreshing its recency; counts one hit or miss."""
+        """Look up ``key``, refreshing its recency; counts one hit or miss.
+
+        With an artifact store attached, a RAM miss on a persistable factor
+        kind falls through to disk: a loaded artifact is admitted into the
+        RAM cache and counted as a hit (the caller was served without a
+        rebuild), plus one ``artifact_hits``.
+        """
         kind = self._kind_of(key)
         with self._lock:
             entry = self._entries.get(key)
-            if entry is None:
-                self.misses += 1
-                self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
-                return default
-            self._entries.move_to_end(key)
-            self.hits += 1
-            self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
-            return entry[0]
+            if entry is not None:
+                self._entries.move_to_end(key)
+                self.hits += 1
+                self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
+                return entry[0]
+            store = self._artifact_store
+            if store is not None and store.handles(key):
+                value = store.load(key)
+                if value is not None:
+                    self.artifact_hits += 1
+                    size = _estimate_nbytes(value)
+                    if size <= self.max_bytes:
+                        self._entries[key] = (value, size)
+                        self._bytes += size
+                        self._evict_to_budget()
+                        self._evict_kind(kind)
+                    self.hits += 1
+                    self._kind_hits[kind] = self._kind_hits.get(kind, 0) + 1
+                    return value
+                self.artifact_misses += 1
+            self.misses += 1
+            self._kind_misses[kind] = self._kind_misses.get(kind, 0) + 1
+            return default
 
     def contains(self, key: Hashable) -> bool:
         """Pure membership probe: no counters, no recency update.
@@ -159,19 +225,27 @@ class FactorCache:
             return key in self._entries
 
     def put(self, key: Hashable, value: Any, nbytes: int | None = None) -> Any:
-        """Insert ``value`` under ``key`` (replacing any old entry) and return it."""
+        """Insert ``value`` under ``key`` (replacing any old entry) and return it.
+
+        With an artifact store attached, persistable factor kinds are also
+        written through to disk (content-addressed — an existing artifact is
+        never rewritten), outside the cache lock.
+        """
         size = _estimate_nbytes(value) if nbytes is None else int(nbytes)
         with self._lock:
+            store = self._artifact_store
             if size > self.max_bytes:
                 self.oversized += 1
-                return value
-            old = self._entries.pop(key, None)
-            if old is not None:
-                self._bytes -= old[1]
-            self._entries[key] = (value, size)
-            self._bytes += size
-            self._evict_to_budget()
-            self._evict_kind(self._kind_of(key))
+            else:
+                old = self._entries.pop(key, None)
+                if old is not None:
+                    self._bytes -= old[1]
+                self._entries[key] = (value, size)
+                self._bytes += size
+                self._evict_to_budget()
+                self._evict_kind(self._kind_of(key))
+        if store is not None and store.handles(key):
+            store.save(key, value)
         return value
 
     def get_or_build(
@@ -235,7 +309,7 @@ class FactorCache:
                 slot = by_kind.setdefault(kind, {"entries": 0, "bytes": 0})
                 slot["hits"] = self._kind_hits.get(kind, 0)
                 slot["misses"] = self._kind_misses.get(kind, 0)
-            return {
+            info = {
                 "entries": len(self._entries),
                 "bytes": self._bytes,
                 "max_bytes": self.max_bytes,
@@ -243,8 +317,13 @@ class FactorCache:
                 "misses": self.misses,
                 "evictions": self.evictions,
                 "oversized": self.oversized,
+                "artifact_hits": self.artifact_hits,
+                "artifact_misses": self.artifact_misses,
                 "by_kind": by_kind,
             }
+            if self._artifact_store is not None:
+                info["artifacts"] = self._artifact_store.info()
+            return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
         return (
@@ -593,3 +672,169 @@ def attach_shared_factor(
         view.flags.writeable = False
         arrays.append(view)
     return _rebuild_factor(handle.meta, arrays), shm
+
+
+# ================================================================== artifacts
+# Content-addressed on-disk persistence of factor payloads.  The same
+# (meta, arrays) flattening that ships factors between processes also makes
+# them durable: each artifact is one ``<digest>.npz`` of the payload arrays
+# plus a ``<digest>.json`` sidecar holding the structural meta and the
+# human-readable cache key, where ``digest`` addresses the *cache key* — the
+# full identity of the physics, discretisation and factor kind.  A restarted
+# process therefore finds exactly the factors it would otherwise rebuild.
+
+
+def _key_digest(key: Hashable) -> str:
+    """Stable hex digest of a cache key (filenames of its artifacts)."""
+    import hashlib
+
+    return hashlib.blake2b(repr(key).encode(), digest_size=16).hexdigest()
+
+
+class FactorArtifactStore:
+    """Content-addressed on-disk cache of serialised factor payloads.
+
+    Parameters
+    ----------
+    root:
+        Directory the artifacts live under (created on first use).  Writes
+        are atomic (temp file + ``os.replace``) so a crash mid-write never
+        leaves a half-readable artifact; corrupted or unreadable artifacts
+        are skipped with a warning, never raised to the solver.
+
+    Only the :data:`PERSISTED_FACTOR_KINDS` are handled; values that the
+    flatten contract cannot serialise (e.g. a *spilled* tiled factor, which
+    is its scratch file) are silently skipped.  All methods are thread-safe.
+    """
+
+    def __init__(self, root: str | os.PathLike) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self._lock = threading.Lock()
+        self.hits = 0
+        self.misses = 0
+        self.saves = 0
+        self.save_skips = 0
+
+    # ------------------------------------------------------------------ helpers
+    @staticmethod
+    def handles(key: Hashable) -> bool:
+        """True when ``key`` names a factor kind this store persists."""
+        return (
+            isinstance(key, tuple)
+            and bool(key)
+            and key[0] in PERSISTED_FACTOR_KINDS
+        )
+
+    def _paths(self, key: Hashable) -> tuple[Path, Path]:
+        digest = _key_digest(key)
+        return self.root / f"{digest}.json", self.root / f"{digest}.npz"
+
+    # ------------------------------------------------------------------- access
+    def contains(self, key: Hashable) -> bool:
+        """Pure membership probe — no counters."""
+        meta_path, payload_path = self._paths(key)
+        return meta_path.exists() and payload_path.exists()
+
+    def save(self, key: Hashable, factor: Any) -> bool:
+        """Persist one factor; returns True when an artifact exists afterwards.
+
+        Content-addressed: a key whose artifact is already on disk is never
+        rewritten (the key digests the full factor identity, so the payload
+        cannot differ).  Unserialisable factors and I/O failures are counted
+        in ``save_skips`` and otherwise ignored — persistence must never fail
+        a solve.
+        """
+        if not self.handles(key):
+            return False
+        meta_path, payload_path = self._paths(key)
+        if meta_path.exists() and payload_path.exists():
+            return True
+        try:
+            meta, arrays = _flatten_factor(factor)
+        except TypeError:
+            with self._lock:
+                self.save_skips += 1
+            return False
+        try:
+            tmp_payload = payload_path.with_name(payload_path.name + ".tmp")
+            # write through a handle: np.savez would append ".npz" to the
+            # temp *name*, breaking the atomic rename
+            with open(tmp_payload, "wb") as fh:
+                np.savez(fh, **{f"a{i}": a for i, a in enumerate(arrays)})
+            os.replace(tmp_payload, payload_path)
+            doc = {
+                "meta": meta,
+                "key": repr(key),
+                "n_arrays": len(arrays),
+                "nbytes": int(sum(a.nbytes for a in arrays)),
+            }
+            tmp_meta = meta_path.with_name(meta_path.name + ".tmp")
+            tmp_meta.write_text(json.dumps(doc, sort_keys=True))
+            # the meta sidecar lands last: an artifact without its sidecar is
+            # invisible to load(), so a crash between the two writes is safe
+            os.replace(tmp_meta, meta_path)
+        except (OSError, ValueError) as exc:
+            warnings.warn(
+                f"could not persist factor artifact for {key!r}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            with self._lock:
+                self.save_skips += 1
+            return False
+        with self._lock:
+            self.saves += 1
+        return True
+
+    def load(self, key: Hashable) -> Any | None:
+        """Rebuild one persisted factor, or ``None`` when absent/corrupt."""
+        if not self.handles(key):
+            return None
+        meta_path, payload_path = self._paths(key)
+        if not meta_path.exists():
+            with self._lock:
+                self.misses += 1
+            return None
+        try:
+            doc = json.loads(meta_path.read_text())
+            with np.load(payload_path, allow_pickle=False) as payload:
+                arrays = [payload[f"a{i}"] for i in range(int(doc["n_arrays"]))]
+            factor = _rebuild_factor(doc["meta"], arrays)
+        except Exception as exc:  # noqa: BLE001 - any corruption means "absent"
+            warnings.warn(
+                f"skipping corrupted factor artifact {meta_path.name}: {exc}",
+                RuntimeWarning,
+                stacklevel=2,
+            )
+            with self._lock:
+                self.misses += 1
+            return None
+        with self._lock:
+            self.hits += 1
+        return factor
+
+    # -------------------------------------------------------------- maintenance
+    def info(self) -> dict:
+        """Occupancy and hit/miss counters (service metrics / benchmarks)."""
+        entries = 0
+        total_bytes = 0
+        try:
+            for path in self.root.glob("*.npz"):
+                entries += 1
+                total_bytes += path.stat().st_size
+        except OSError:
+            pass
+        with self._lock:
+            return {
+                "root": str(self.root),
+                "artifacts": entries,
+                "bytes": total_bytes,
+                "hits": self.hits,
+                "misses": self.misses,
+                "saves": self.saves,
+                "save_skips": self.save_skips,
+            }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging helper
+        return f"FactorArtifactStore(root={str(self.root)!r})"

@@ -29,15 +29,39 @@ import tempfile
 import numpy as np
 from scipy.linalg import LinAlgError, solve_triangular
 
-__all__ = ["TiledCholeskyFactor", "tiled_scratch_dir", "DEFAULT_TILE"]
+__all__ = [
+    "TiledCholeskyFactor",
+    "tiled_scratch_dir",
+    "set_default_scratch_dir",
+    "DEFAULT_TILE",
+]
 
 #: default tile edge (panels); 1024^2 doubles = 8 MiB per in-core tile
 DEFAULT_TILE = 1024
 
+#: programmatic scratch-dir default (the extraction service roots spilled
+#: factors under its state dir); the env var still takes precedence
+_DEFAULT_SCRATCH_DIR: str | None = None
+
+
+def set_default_scratch_dir(path: str | os.PathLike | None) -> None:
+    """Set (or clear, with ``None``) the process default for tiled scratch.
+
+    ``REPRO_TILED_SCRATCH_DIR`` overrides this; with neither configured,
+    scratch files land in the system temp directory as before.  The
+    directory is created on demand by the callers.
+    """
+    global _DEFAULT_SCRATCH_DIR
+    _DEFAULT_SCRATCH_DIR = None if path is None else str(path)
+
 
 def tiled_scratch_dir() -> str:
     """Directory for spilled factor scratch files (env: REPRO_TILED_SCRATCH_DIR)."""
-    return os.environ.get("REPRO_TILED_SCRATCH_DIR") or tempfile.gettempdir()
+    configured = os.environ.get("REPRO_TILED_SCRATCH_DIR") or _DEFAULT_SCRATCH_DIR
+    if configured:
+        os.makedirs(configured, exist_ok=True)
+        return configured
+    return tempfile.gettempdir()
 
 
 class TiledCholeskyFactor:

@@ -1,0 +1,436 @@
+"""Durable service state: sqlite corpus, factor artifacts, job journal.
+
+Plus regression tests for the service-layer bugfix sweep that shipped with
+persistence: health reporting, snapshot consistency, expired-id semantics,
+result-store eviction accounting and the pending/running metrics split.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+import urllib.error
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    ExtractionServer,
+    Job,
+    JobExpiredError,
+    JobRequest,
+    JobState,
+    ResultStore,
+    Scheduler,
+    ServiceClient,
+    ServicePersistence,
+)
+from repro.service.metrics import ServiceMetrics
+from repro.service.result_store import DEFAULT_STORE_BYTES, default_store_bytes
+from repro.substrate.factor_cache import factor_cache
+from repro.substrate.parallel import SolverSpec
+
+
+# ------------------------------------------------------------------- fixtures
+@pytest.fixture(scope="module")
+def small_layout_module():
+    from repro import regular_grid
+
+    return regular_grid(n_side=4, size=128.0, fill=0.5)
+
+
+@pytest.fixture(scope="module")
+def small_profile_module():
+    from repro import SubstrateProfile
+
+    return SubstrateProfile.two_layer_example(size=128.0, resistive_bottom=True)
+
+
+@pytest.fixture(scope="module")
+def bem_spec(small_layout_module, small_profile_module):
+    return SolverSpec.bem(
+        small_layout_module, small_profile_module, max_panels=32, rtol=1e-10
+    )
+
+
+@pytest.fixture(autouse=True)
+def clean_factor_cache():
+    """Persistence tests simulate restarts: start and end with a cold cache."""
+    factor_cache().clear()
+    factor_cache().set_artifact_store(None)
+    yield
+    factor_cache().clear()
+    factor_cache().set_artifact_store(None)
+
+
+def make_scheduler(state_dir, **kwargs) -> Scheduler:
+    return Scheduler(n_workers=1, autostart=False, persistence=state_dir, **kwargs)
+
+
+# ----------------------------------------------------- tentpole: restart corpus
+def test_restart_serves_corpus_with_zero_solves(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    with make_scheduler(state) as sched:
+        job = sched.result(sched.submit(JobRequest(bem_spec, columns=(0, 3, 5))))
+        sched.step()
+        assert job.status == JobState.DONE
+        assert sched.attributed_solves == 3
+        reference = np.array(job.result)
+
+    factor_cache().clear()  # a new process holds no RAM factors
+    with make_scheduler(state) as sched:
+        job = sched.result(sched.submit(JobRequest(bem_spec, columns=(0, 3, 5))))
+        sched.step()
+        assert job.status == JobState.DONE
+        # the tentpole invariant: zero new attributed solves, exact agreement
+        assert sched.attributed_solves == 0
+        assert np.allclose(job.result, reference, rtol=1e-10, atol=0)
+        assert sched.store.info()["disk_hits"] == 3
+
+
+def test_restart_fresh_column_costs_exactly_one_solve(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    with make_scheduler(state) as sched:
+        sched.submit(JobRequest(bem_spec, columns=(0, 1)))
+        sched.step()
+
+    factor_cache().clear()
+    with make_scheduler(state) as sched:
+        job = sched.result(sched.submit(JobRequest(bem_spec, columns=(1, 2))))
+        sched.step()
+        assert job.status == JobState.DONE
+        assert sched.attributed_solves == 1  # column 1 from disk, 2 solved
+
+
+def test_no_state_dir_behaviour_unchanged(bem_spec):
+    with Scheduler(n_workers=1, autostart=False) as sched:
+        assert sched.persistence is None
+        info = sched.store.info()
+        assert "backend" not in info
+        job = sched.result(sched.submit(JobRequest(bem_spec, columns=(0,))))
+        sched.step()
+        assert job.status == JobState.DONE
+        assert factor_cache().artifact_store is None
+        assert "persistence" not in sched.stats()
+
+
+# ------------------------------------------------------- tentpole: artifacts
+def test_artifact_store_warm_start_skips_rebuild(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    with make_scheduler(state) as sched:
+        sched.submit(JobRequest(bem_spec, columns=(0,)))
+        sched.step()
+        assert (state / "artifacts").is_dir()
+        assert list((state / "artifacts").glob("*.npz"))
+
+    factor_cache().clear()
+    with make_scheduler(state):
+        # a bare solver over the same spec attaches the persisted factor:
+        # zero rebuilds, counter-pinned
+        cache = factor_cache()
+        hits_before = cache.artifact_hits
+        solver = bem_spec.build()
+        assert solver.prepare_direct()
+        assert solver.stats.n_factor_rebuilds == 0
+        assert cache.artifact_hits == hits_before + 1
+
+    # without the artifact store the same cold build must rebuild
+    factor_cache().clear()
+    solver = bem_spec.build()
+    assert solver.prepare_direct()
+    assert solver.stats.n_factor_rebuilds == 1
+
+
+def test_corrupt_artifact_is_a_miss_not_a_crash(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    with make_scheduler(state) as sched:
+        sched.submit(JobRequest(bem_spec, columns=(0,)))
+        sched.step()
+    for payload in (state / "artifacts").glob("*.npz"):
+        payload.write_bytes(b"not an npz file")
+
+    factor_cache().clear()
+    with make_scheduler(state) as sched:
+        with pytest.warns(RuntimeWarning, match="artifact"):
+            job = sched.result(sched.submit(JobRequest(bem_spec, columns=(1,))))
+            sched.step()
+        assert job.status == JobState.DONE  # rebuilt, served anyway
+
+
+# --------------------------------------------------------- tentpole: journal
+def test_journal_replays_after_simulated_crash(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    crashed = make_scheduler(state)
+    job_id = crashed.submit(JobRequest(bem_spec, columns=(0, 2)))
+    # simulated crash: the state dir survives, the scheduler never drains
+    crashed.persistence.close()
+
+    with make_scheduler(state) as sched:
+        assert sched.metrics.jobs_replayed == 1
+        assert sched.queue_depth == 1
+        sched.step()
+        job = sched.result(job_id)  # original id survives the crash
+        assert job.status == JobState.DONE
+        assert job.result.shape[1] == 2
+        # replayed ids are never reissued
+        assert sched.submit(JobRequest(bem_spec, columns=(1,))) != job_id
+    crashed.close()
+
+
+def test_graceful_close_preserves_accepted_work(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    sched = make_scheduler(state)
+    job_id = sched.submit(JobRequest(bem_spec, columns=(0,)))
+    sched.close()  # never drained: close fails it locally but not on disk
+
+    with make_scheduler(state) as sched:
+        assert sched.metrics.jobs_replayed == 1
+        sched.step()
+        assert sched.result(job_id).status == JobState.DONE
+
+
+def test_finished_jobs_do_not_replay(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    with make_scheduler(state) as sched:
+        sched.submit(JobRequest(bem_spec, columns=(0,)))
+        sched.step()
+    with make_scheduler(state) as sched:
+        assert sched.metrics.jobs_replayed == 0
+        assert sched.queue_depth == 0
+
+
+def test_corrupt_journal_entry_skipped_with_warning(tmp_path, bem_spec):
+    state = tmp_path / "state"
+    crashed = make_scheduler(state)
+    job_id = crashed.submit(JobRequest(bem_spec, columns=(0,)))
+    crashed.persistence.close()
+    journal = state / "journal.jsonl"
+    with open(journal, "a", encoding="utf-8") as fh:
+        fh.write("this is not json\n")
+        fh.write(json.dumps({"event": "accept", "job_id": "job-bad"})[:-9] + "\n")
+        fh.write(json.dumps({"event": "accept", "job_id": "x", "request": "AAA"}) + "\n")
+
+    with pytest.warns(RuntimeWarning, match="journal"):
+        sched = make_scheduler(state)
+    try:
+        # the intact accept still replays; the torn tail lines are skipped
+        assert sched.metrics.jobs_replayed == 1
+        sched.step()
+        assert sched.result(job_id).status == JobState.DONE
+    finally:
+        sched.close()
+        crashed.close()
+
+
+def test_sqlite_backend_roundtrip(tmp_path):
+    from repro.service import SqliteResultBackend
+
+    backend = SqliteResultBackend(tmp_path / "results.sqlite")
+    fp = ("bem", "fingerprint")
+    values = np.arange(5.0)
+    backend.save(fp, 3, values)
+    assert backend.contains(fp, 3)
+    assert not backend.contains(fp, 4)
+    loaded = backend.load(fp, 3)
+    assert not loaded.flags.writeable
+    np.testing.assert_array_equal(loaded, values)
+    assert backend.load(("other",), 3) is None
+    assert backend.info()["columns"] == 1
+    assert backend.delete(fp) == 1
+    assert backend.info()["columns"] == 0
+    backend.close()
+
+
+def test_result_store_write_through_and_read_through(tmp_path):
+    from repro.service import SqliteResultBackend
+
+    backend = SqliteResultBackend(tmp_path / "results.sqlite")
+    store = ResultStore(max_bytes=1024, backend=backend)
+    fp = ("fp",)
+    store.put(fp, 0, np.arange(4.0))
+    assert backend.contains(fp, 0)  # write-through
+
+    fresh = ResultStore(max_bytes=1024, backend=backend)
+    got = fresh.get(fp, 0)  # read-through on a cold LRU
+    np.testing.assert_array_equal(got, np.arange(4.0))
+    info = fresh.info()
+    assert info["disk_hits"] == 1 and info["hits"] == 1 and info["misses"] == 0
+    assert fresh.get(fp, 0) is not None  # now a RAM hit
+    assert fresh.info()["disk_hits"] == 1
+    assert fresh.contains(fp, 1) is False
+    backend.close()
+
+
+def test_persistence_object_lifecycle(tmp_path):
+    with ServicePersistence(tmp_path / "state") as persistence:
+        assert persistence.writable()
+        info = persistence.info()
+        assert set(info) == {"state_dir", "results", "artifacts", "journal"}
+    # close is idempotent and releases handles
+    persistence.close()
+
+
+# -------------------------------------------------- bugfix: health reporting
+def test_health_reports_dead_dispatcher_and_closed_scheduler(bem_spec):
+    sched = Scheduler(n_workers=1, autostart=False)
+    assert sched.health()["ok"]  # manual scheduler: healthy while open
+    # a dispatcher thread that died must flip health, even before close()
+    dead = threading.Thread(target=lambda: None)
+    dead.start()
+    dead.join()
+    sched._thread = dead
+    health = sched.health()
+    assert not health["ok"] and not health["dispatcher_alive"]
+    sched._thread = None
+    sched.close()
+    assert not sched.health()["ok"] and sched.health()["closing"]
+
+
+def test_healthz_returns_503_when_unhealthy(bem_spec):
+    sched = Scheduler(n_workers=1, autostart=False)
+    server = ExtractionServer(scheduler=sched).start()
+    try:
+        client = ServiceClient(server.url)
+        assert client.healthz()["ok"]
+        sched.close()
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            client.healthz()
+        assert excinfo.value.code == 503
+    finally:
+        server.close()
+        sched.close()
+
+
+def test_health_includes_state_dir_writability(tmp_path):
+    with make_scheduler(tmp_path / "state") as sched:
+        assert sched.health()["state_dir_writable"]
+
+
+# ---------------------------------------------- bugfix: snapshot consistency
+def test_snapshot_hides_result_fields_outside_terminal_states():
+    job = Job(
+        job_id="job-000001",
+        request=None,  # snapshot only touches request.pairs via the guard
+        submitted_at=time.monotonic(),
+        done_event=threading.Event(),
+    )
+    job.request = type("R", (), {"pairs": None})()
+    job.status = JobState.RUNNING
+    job.result_columns = (0, 1)
+    job.result = np.eye(2)  # mid-assembly values must never leak
+    job.pair_values = np.array([1.0])
+    snap = job.snapshot()
+    assert snap["status"] == JobState.RUNNING
+    assert snap["columns"] is None
+    assert snap["result"] is None
+    assert snap["pair_values"] is None
+    job.status = JobState.DONE
+    snap = job.snapshot()
+    assert snap["columns"] == [0, 1]
+    assert snap["result"] == [[1.0, 0.0], [0.0, 1.0]]
+
+
+def test_scheduler_snapshot_is_taken_under_lock(bem_spec):
+    with Scheduler(n_workers=1, autostart=False) as sched:
+        job_id = sched.submit(JobRequest(bem_spec, columns=(0,)))
+        assert sched.snapshot(job_id)["status"] == JobState.PENDING
+        sched.step()
+        snap = sched.snapshot(job_id)
+        assert snap["status"] == JobState.DONE
+        assert snap["columns"] == [0]
+        assert snap["result"] is not None
+
+
+# ------------------------------------------------- bugfix: expired-id answer
+def test_expired_job_id_distinguished_from_unknown(bem_spec):
+    with Scheduler(n_workers=1, autostart=False, max_jobs_retained=1) as sched:
+        first = sched.submit(JobRequest(bem_spec, columns=(0,)))
+        sched.submit(JobRequest(bem_spec, columns=(1,)))
+        sched.step()
+        with pytest.raises(JobExpiredError):
+            sched.result(first)
+        with pytest.raises(KeyError) as excinfo:
+            sched.result("job-999999")
+        assert not isinstance(excinfo.value, JobExpiredError)
+        # JobExpiredError subclasses KeyError: uniform "gone" handling works
+        with pytest.raises(KeyError):
+            sched.result(first)
+
+
+def test_http_410_for_expired_job(bem_spec):
+    sched = Scheduler(n_workers=1, autostart=False, max_jobs_retained=1)
+    server = ExtractionServer(scheduler=sched).start()
+    try:
+        client = ServiceClient(server.url)
+        first = client.submit(JobRequest(bem_spec, columns=(0,)))
+        client.submit(JobRequest(bem_spec, columns=(1,)))
+        sched.step()
+        with pytest.raises(JobExpiredError):
+            client.result(first)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            client.result("job-999999")
+        assert excinfo.value.code == 404
+    finally:
+        server.close()
+        sched.close()
+
+
+# --------------------------------------- bugfix: store eviction + env budget
+def test_clear_counts_evictions():
+    store = ResultStore(max_bytes=1 << 20)
+    fp_a, fp_b = ("a",), ("b",)
+    store.put(fp_a, 0, np.arange(4.0))
+    store.put(fp_a, 1, np.arange(4.0))
+    store.put(fp_b, 0, np.arange(4.0))
+    assert store.clear(fp_a) == 2
+    assert store.evictions == 2
+    assert store.clear() == 1
+    assert store.evictions == 3
+    assert len(store) == 0
+
+
+def test_default_store_bytes_validates_env(monkeypatch):
+    monkeypatch.setenv("REPRO_RESULT_STORE_BYTES", "1024")
+    assert default_store_bytes() == 1024
+    monkeypatch.setenv("REPRO_RESULT_STORE_BYTES", "not-a-number")
+    with pytest.warns(RuntimeWarning, match="REPRO_RESULT_STORE_BYTES"):
+        assert default_store_bytes() == DEFAULT_STORE_BYTES
+    monkeypatch.setenv("REPRO_RESULT_STORE_BYTES", "-1")
+    with pytest.warns(RuntimeWarning, match="REPRO_RESULT_STORE_BYTES"):
+        assert default_store_bytes() == DEFAULT_STORE_BYTES
+    monkeypatch.delenv("REPRO_RESULT_STORE_BYTES")
+    assert default_store_bytes() == DEFAULT_STORE_BYTES
+
+
+# ------------------------------------------- bugfix: pending/running split
+def test_metrics_report_pending_and_running_separately():
+    metrics = ServiceMetrics()
+    for _ in range(3):
+        metrics.record_submit()
+    metrics.record_outcome("done")
+    jobs = metrics.snapshot(running=1)["jobs"]
+    assert jobs == {
+        "submitted": 3,
+        "done": 1,
+        "failed": 0,
+        "cancelled": 0,
+        "timeout": 0,
+        "replayed": 0,
+        "running": 1,
+        "pending": 1,
+    }
+    # no running count given: pending falls back to the old definition
+    assert metrics.snapshot()["jobs"]["pending"] == 2
+
+
+def test_stats_expose_running_jobs_mid_batch(bem_spec):
+    with Scheduler(n_workers=1, autostart=False) as sched:
+        sched.submit(JobRequest(bem_spec, columns=(0,)))
+        assert sched.stats()["jobs"]["pending"] == 1
+        assert sched.stats()["jobs"]["running"] == 0
+        sched.step()
+        stats = sched.stats()
+        assert stats["jobs"]["running"] == 0
+        assert stats["jobs"]["pending"] == 0
+        assert stats["jobs"]["done"] == 1
