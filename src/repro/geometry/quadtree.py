@@ -171,7 +171,7 @@ class SquareHierarchy:
     def _build_coarser_levels(self) -> None:
         for lev in range(self.max_level - 1, -1, -1):
             buckets: dict[SquareKey, list[np.ndarray]] = {}
-            for key, sq in list(self._squares.items()):
+            for sq in list(self._squares.values()):
                 if sq.level != lev + 1:
                     continue
                 pkey = (lev, sq.i // 2, sq.j // 2)
@@ -255,7 +255,7 @@ class SquareHierarchy:
         """
         if square.level < 2:
             return []
-        local_keys = {k for k in self._same_level_keys(square, (-1, 0, 1), (-1, 0, 1))}
+        local_keys = set(self._same_level_keys(square, (-1, 0, 1), (-1, 0, 1)))
         parent_key = square.parent_key()
         plevel, pi, pj = parent_key
         np_side = 2 ** plevel

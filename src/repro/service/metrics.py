@@ -55,22 +55,30 @@ class ServiceMetrics:
 
     def __init__(self, window: int = DEFAULT_WINDOW) -> None:
         self._lock = threading.RLock()
+        #: write-once at construction, read lock-free by uptime consumers
         self.started_at = time.monotonic()
-        self.jobs_submitted = 0
-        self.jobs_done = 0
-        self.jobs_failed = 0
-        self.jobs_cancelled = 0
-        self.jobs_timeout = 0
-        self.jobs_replayed = 0  # journaled jobs re-queued at startup
+        self.jobs_submitted = 0  # reprolint: guarded-by(_lock)
+        self.jobs_done = 0  # reprolint: guarded-by(_lock)
+        self.jobs_failed = 0  # reprolint: guarded-by(_lock)
+        self.jobs_cancelled = 0  # reprolint: guarded-by(_lock)
+        self.jobs_timeout = 0  # reprolint: guarded-by(_lock)
+        #: journaled jobs re-queued at startup
+        self.jobs_replayed = 0  # reprolint: guarded-by(_lock)
         #: coalescing bookkeeping
-        self.batches = 0
-        self.batch_jobs = 0  # jobs served across all batches
-        self.coalesced_jobs = 0  # jobs that shared a batch with at least one other
-        self.columns_requested = 0  # union size per batch, summed
-        self.columns_solved = 0  # columns that actually hit the solver
-        self.columns_from_store = 0  # columns served by the ResultStore
+        self.batches = 0  # reprolint: guarded-by(_lock)
+        #: jobs served across all batches
+        self.batch_jobs = 0  # reprolint: guarded-by(_lock)
+        #: jobs that shared a batch with at least one other
+        self.coalesced_jobs = 0  # reprolint: guarded-by(_lock)
+        #: union size per batch, summed
+        self.columns_requested = 0  # reprolint: guarded-by(_lock)
+        #: columns that actually hit the solver
+        self.columns_solved = 0  # reprolint: guarded-by(_lock)
+        #: columns served by the ResultStore
+        self.columns_from_store = 0  # reprolint: guarded-by(_lock)
         #: merged solve statistics of everything the scheduler ran
-        self.solve_stats = SolveStats()
+        self.solve_stats = SolveStats()  # reprolint: guarded-by(_lock)
+        # reprolint: guarded-by(_lock)
         self._latencies: "deque[float]" = deque(maxlen=int(window))
 
     # ------------------------------------------------------------- recording

@@ -76,22 +76,30 @@ class SqliteResultBackend:
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
+        # reprolint: guarded-by(_lock); owned-by(SqliteResultBackend)
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
-        self._conn.execute("PRAGMA journal_mode=WAL")
-        self._conn.execute("PRAGMA synchronous=NORMAL")
-        self._conn.execute(
-            "CREATE TABLE IF NOT EXISTS result_columns ("
-            "  fingerprint TEXT NOT NULL,"
-            "  column_index INTEGER NOT NULL,"
-            "  n_values INTEGER NOT NULL,"
-            "  data BLOB NOT NULL,"
-            "  PRIMARY KEY (fingerprint, column_index)"
-            ")"
-        )
-        self._conn.commit()
-        self.loads = 0
-        self.load_misses = 0
-        self.saves = 0
+        try:
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute(
+                "CREATE TABLE IF NOT EXISTS result_columns ("
+                "  fingerprint TEXT NOT NULL,"
+                "  column_index INTEGER NOT NULL,"
+                "  n_values INTEGER NOT NULL,"
+                "  data BLOB NOT NULL,"
+                "  PRIMARY KEY (fingerprint, column_index)"
+                ")"
+            )
+            self._conn.commit()
+        except Exception:
+            # schema setup failed (locked file, corrupt database, full
+            # volume): the half-initialised connection must not leak — no
+            # owner will ever call close() on a backend that never existed
+            self._conn.close()
+            raise
+        self.loads = 0  # reprolint: guarded-by(_lock)
+        self.load_misses = 0  # reprolint: guarded-by(_lock)
+        self.saves = 0  # reprolint: guarded-by(_lock)
 
     # ------------------------------------------------------------------ access
     def save(self, fingerprint: tuple, column: int, values: np.ndarray) -> None:
@@ -189,10 +197,11 @@ class JobJournal:
     def __init__(self, path: str | os.PathLike) -> None:
         self.path = Path(path)
         self._lock = threading.Lock()
+        # reprolint: guarded-by(_lock); owned-by(JobJournal)
         self._fh = open(self.path, "a", encoding="utf-8")
-        self.accepts = 0
-        self.terminals = 0
-        self.corrupt_skipped = 0
+        self.accepts = 0  # reprolint: guarded-by(_lock)
+        self.terminals = 0  # reprolint: guarded-by(_lock)
+        self.corrupt_skipped = 0  # reprolint: guarded-by(_lock)
 
     # --------------------------------------------------------------- recording
     def record_accept(self, job_id: str, request: JobRequest) -> None:
@@ -252,7 +261,8 @@ class JobJournal:
                     else:
                         raise ValueError(f"unknown journal event {event!r}")
                 except Exception as exc:  # noqa: BLE001 - crash-torn tail lines
-                    self.corrupt_skipped += 1
+                    with self._lock:
+                        self.corrupt_skipped += 1
                     warnings.warn(
                         f"skipping corrupt journal entry at {self.path}:{lineno}: "
                         f"{type(exc).__name__}: {exc}",

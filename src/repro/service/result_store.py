@@ -73,20 +73,23 @@ class ResultStore:
     """
 
     def __init__(self, max_bytes: int | None = None, backend=None) -> None:
+        # reprolint: guarded-by(_lock)
         self.max_bytes = int(max_bytes if max_bytes is not None else default_store_bytes())
+        # reprolint: guarded-by(_lock)
         self._columns: "OrderedDict[tuple, np.ndarray]" = OrderedDict()
-        self._bytes = 0
+        self._bytes = 0  # reprolint: guarded-by(_lock)
         self._lock = threading.RLock()
-        self._backend = backend
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.disk_hits = 0
-        self.disk_misses = 0
+        self._backend = backend  # reprolint: guarded-by(_lock)
+        self.hits = 0  # reprolint: guarded-by(_lock)
+        self.misses = 0  # reprolint: guarded-by(_lock)
+        self.evictions = 0  # reprolint: guarded-by(_lock)
+        self.disk_hits = 0  # reprolint: guarded-by(_lock)
+        self.disk_misses = 0  # reprolint: guarded-by(_lock)
 
     @property
     def backend(self):
-        return self._backend
+        with self._lock:
+            return self._backend
 
     def attach_backend(self, backend) -> None:
         """Attach (or detach, with ``None``) the persistent column corpus."""
@@ -134,6 +137,7 @@ class ResultStore:
                 found[column] = value
         return found
 
+    # reprolint: holds(_lock)
     def _admit_locked(self, key: tuple, values: np.ndarray) -> None:
         """Insert one read-only array into the LRU, evicting down to budget."""
         if values.nbytes > self.max_bytes:
@@ -230,7 +234,8 @@ class ResultStore:
         return doc
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return (
-            f"ResultStore(columns={len(self._columns)}, bytes={self._bytes}, "
-            f"max_bytes={self.max_bytes})"
-        )
+        with self._lock:
+            return (
+                f"ResultStore(columns={len(self._columns)}, bytes={self._bytes}, "
+                f"max_bytes={self.max_bytes})"
+            )

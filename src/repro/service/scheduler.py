@@ -112,10 +112,11 @@ class ExtractorPool:
         self.max_solvers = int(max_solvers)
         self.share_factors = bool(share_factors)
         self.prepare_tiled = bool(prepare_tiled)
+        # reprolint: guarded-by(_lock)
         self._engines: "OrderedDict[tuple, ParallelExtractor]" = OrderedDict()
         self._lock = threading.RLock()
-        self.engines_built = 0
-        self.engines_evicted = 0
+        self.engines_built = 0  # reprolint: guarded-by(_lock)
+        self.engines_evicted = 0  # reprolint: guarded-by(_lock)
 
     def get(self, fingerprint: tuple, spec: SolverSpec) -> ParallelExtractor:
         """The warm engine for ``fingerprint``, building (and warming) on miss.
@@ -241,21 +242,21 @@ class Scheduler:
         self.coalesce_window_s = float(coalesce_window_s)
         self.max_jobs_retained = int(max_jobs_retained)
         self.max_result_bytes_retained = int(max_result_bytes_retained)
-        self._jobs: dict[str, Job] = {}
-        self._pending: list[str] = []
-        self._terminal: "deque[str]" = deque()
-        self._retained_bytes = 0
-        self._seq = 0
-        self._running = 0
+        self._jobs: dict[str, Job] = {}  # reprolint: guarded-by(_cv)
+        self._pending: list[str] = []  # reprolint: guarded-by(_cv)
+        self._terminal: "deque[str]" = deque()  # reprolint: guarded-by(_cv)
+        self._retained_bytes = 0  # reprolint: guarded-by(_cv)
+        self._seq = 0  # reprolint: guarded-by(_cv)
+        self._running = 0  # reprolint: guarded-by(_cv)
         #: every job id this service has ever accepted (journal + retention
         #: drops) — lets :meth:`result` answer "expired", not "never existed"
-        self._known_ids: set[str] = set()
+        self._known_ids: set[str] = set()  # reprolint: guarded-by(_cv)
         self._cv = threading.Condition()
         self._drain_lock = threading.Lock()
-        self._closing = False
+        self._closing = False  # reprolint: guarded-by(_cv)
         #: cumulative CountingSolver attribution of every batch this
         #: scheduler ran (equals fresh columns solved; pinned by tests)
-        self.attributed_solves = 0
+        self.attributed_solves = 0  # reprolint: guarded-by(_cv)
         self._attached_artifacts = False
         if self.persistence is not None:
             self.store.attach_backend(self.persistence.results)
@@ -399,9 +400,10 @@ class Scheduler:
         with self._cv:
             queue_depth = len(self._pending)
             running = self._running
+            attributed_solves = self.attributed_solves
         extra = {
             "engines": self.pool.info(),
-            "attributed_solves": self.attributed_solves,
+            "attributed_solves": attributed_solves,
         }
         if self.persistence is not None:
             extra["persistence"] = self.persistence.info()
@@ -573,7 +575,8 @@ class Scheduler:
                 # per-solve iteration history (the aggregate counters, which
                 # mean_iterations and dispatch feed on, are unaffected)
                 del engine.stats.iterations_per_solve[:-ITERATION_HISTORY]
-                self.attributed_solves += counting.solve_count
+                with self._cv:
+                    self.attributed_solves += counting.solve_count
                 for idx, column in enumerate(to_solve):
                     columns[column] = self.store.put(
                         fingerprint, column, block[:, idx]
@@ -629,6 +632,7 @@ class Scheduler:
             total += job.pair_values.nbytes
         return total
 
+    # reprolint: holds(_cv)
     def _finalize_locked(self, job: Job, status: str, journal: bool = True) -> None:
         """Move a job to a terminal state (caller holds ``_cv``).
 

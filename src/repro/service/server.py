@@ -26,15 +26,17 @@ GET       /healthz   liveness probe: ``{"ok", "dispatcher_alive",
 
 Job requests travel as pickled :class:`~repro.service.jobs.JobRequest`
 payloads (base64 inside JSON) because they embed full layout/profile
-objects.  **Unpickling executes arbitrary code** — bind the server to
-loopback or a trusted network only, exactly like the related background-job
-daemons this service is modelled on.
+objects.  **Unpickling executes arbitrary code** — the handler therefore
+refuses ``/submit`` from non-loopback peers with a 403 before touching the
+payload, unless the server was started with ``--unsafe-allow-remote-pickle``
+(``allow_untrusted_pickle=True``) for a fully trusted network.
 """
 
 from __future__ import annotations
 
 import argparse
 import base64
+import ipaddress
 import json
 import pickle
 import threading
@@ -48,6 +50,21 @@ from .jobs import JobExpiredError, JobRequest, JobState
 from .scheduler import Scheduler
 
 __all__ = ["ExtractionServer", "ServiceClient", "main"]
+
+
+def _is_loopback_address(host: str) -> bool:
+    """True when ``host`` is a loopback peer (IPv4 127/8 or IPv6 ``::1``).
+
+    An empty host (AF_UNIX peers report one) counts as local; anything that
+    does not parse as an IP address — including hostnames, which would take
+    a resolver round-trip to vouch for — counts as untrusted.
+    """
+    if not host:
+        return True
+    try:
+        return ipaddress.ip_address(host.split("%", 1)[0]).is_loopback
+    except ValueError:
+        return False
 
 
 def _make_handler(scheduler: Scheduler):
@@ -71,10 +88,33 @@ def _make_handler(scheduler: Scheduler):
         def _send_error_json(self, status: int, message: str) -> None:
             self._send_json({"error": message}, status=status)
 
+        def _require_trusted_peer(self) -> bool:
+            """Gate every pickle-carrying endpoint on the peer address.
+
+            The submit payload is a pickle, and unpickling executes
+            arbitrary code — serving it to an arbitrary network peer would
+            be remote code execution.  Unless the server was explicitly
+            started with the remote-pickle override, only loopback peers
+            may reach ``pickle.loads`` below; everyone else gets a 403.
+            """
+            if getattr(self.server, "allow_untrusted_pickle", False):
+                return True
+            if _is_loopback_address(self.client_address[0]):
+                return True
+            self._send_error_json(
+                403,
+                "submit carries a pickle payload and is served to loopback "
+                "clients only (start with --unsafe-allow-remote-pickle to "
+                "override on a trusted network)",
+            )
+            return False
+
         # ------------------------------------------------------------- routes
         def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
             if urlparse(self.path).path != "/submit":
                 self._send_error_json(404, f"unknown path {self.path!r}")
+                return
+            if not self._require_trusted_peer():
                 return
             try:
                 length = int(self.headers.get("Content-Length", "0"))
@@ -155,12 +195,16 @@ class ExtractionServer:
         host: str = "127.0.0.1",
         port: int = 0,
         scheduler: Scheduler | None = None,
+        allow_untrusted_pickle: bool = False,
         **scheduler_kwargs,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else Scheduler(**scheduler_kwargs)
         self._owns_scheduler = scheduler is None
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self.scheduler))
         self._httpd.daemon_threads = True
+        # consumed by the handler's _require_trusted_peer gate: pickled
+        # submissions are loopback-only unless the operator opted out
+        self._httpd.allow_untrusted_pickle = bool(allow_untrusted_pickle)
         self._thread: threading.Thread | None = None
 
     @property
@@ -328,6 +372,15 @@ def main(argv: list[str] | None = None) -> None:
             "journal); omit for the in-memory default"
         ),
     )
+    parser.add_argument(
+        "--unsafe-allow-remote-pickle",
+        action="store_true",
+        help=(
+            "serve pickled /submit payloads to non-loopback peers; unpickling "
+            "executes arbitrary code, so enable this only on a fully trusted "
+            "network"
+        ),
+    )
     args = parser.parse_args(argv)
 
     from .result_store import ResultStore
@@ -336,6 +389,7 @@ def main(argv: list[str] | None = None) -> None:
     server = ExtractionServer(
         host=args.host,
         port=args.port,
+        allow_untrusted_pickle=args.unsafe_allow_remote_pickle,
         n_workers=args.workers,
         max_solvers=args.max_solvers,
         store=store,

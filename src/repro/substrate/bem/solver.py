@@ -495,7 +495,7 @@ class EigenfunctionSolver(SubstrateSolver):
             lu, piv = lu_factor(bordered)
             u_diag = np.abs(np.diag(lu))
             if u_diag.min() <= ncp * np.finfo(float).eps * u_diag.max():
-                raise LinAlgError("bordered saddle-point matrix is singular")
+                raise LinAlgError("bordered saddle-point matrix is singular") from None
             self._set_direct_factor(("bordered", lu, piv))
 
     def _set_direct_factor(self, factor: tuple) -> None:

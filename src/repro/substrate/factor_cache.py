@@ -127,27 +127,30 @@ class FactorCache:
     """
 
     def __init__(self, max_bytes: int = DEFAULT_BUDGET_BYTES) -> None:
-        self.max_bytes = int(max_bytes)
+        self.max_bytes = int(max_bytes)  # reprolint: guarded-by(_lock)
+        # reprolint: guarded-by(_lock)
         self._entries: "OrderedDict[Hashable, tuple[Any, int]]" = OrderedDict()
-        self._bytes = 0
+        self._bytes = 0  # reprolint: guarded-by(_lock)
         self._lock = threading.RLock()
-        self._kind_limits: dict[str, int] = {}
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.oversized = 0
-        self._kind_hits: dict[str, int] = {}
-        self._kind_misses: dict[str, int] = {}
+        self._kind_limits: dict[str, int] = {}  # reprolint: guarded-by(_lock)
+        self.hits = 0  # reprolint: guarded-by(_lock)
+        self.misses = 0  # reprolint: guarded-by(_lock)
+        self.evictions = 0  # reprolint: guarded-by(_lock)
+        self.oversized = 0  # reprolint: guarded-by(_lock)
+        self._kind_hits: dict[str, int] = {}  # reprolint: guarded-by(_lock)
+        self._kind_misses: dict[str, int] = {}  # reprolint: guarded-by(_lock)
         #: optional on-disk artifact store consulted on a RAM miss (and
         #: written through on put) for the persistable factor kinds
+        # reprolint: guarded-by(_lock)
         self._artifact_store: "FactorArtifactStore | None" = None
-        self.artifact_hits = 0
-        self.artifact_misses = 0
+        self.artifact_hits = 0  # reprolint: guarded-by(_lock)
+        self.artifact_misses = 0  # reprolint: guarded-by(_lock)
 
     # ---------------------------------------------------------------- artifacts
     @property
     def artifact_store(self) -> "FactorArtifactStore | None":
-        return self._artifact_store
+        with self._lock:
+            return self._artifact_store
 
     def set_artifact_store(self, store: "FactorArtifactStore | None") -> None:
         """Attach (or detach, with ``None``) the on-disk artifact store.
@@ -259,12 +262,14 @@ class FactorCache:
         return self.put(key, builder(), nbytes=nbytes)
 
     # ---------------------------------------------------------------- eviction
+    # reprolint: holds(_lock)
     def _evict_to_budget(self) -> None:
         while self._bytes > self.max_bytes and self._entries:
             _, (_, size) = self._entries.popitem(last=False)
             self._bytes -= size
             self.evictions += 1
 
+    # reprolint: holds(_lock)
     def _evict_kind(self, kind: str) -> None:
         limit = self._kind_limits.get(kind)
         if limit is None:
@@ -326,10 +331,11 @@ class FactorCache:
             return info
 
     def __repr__(self) -> str:  # pragma: no cover - debugging helper
-        return (
-            f"FactorCache(entries={len(self._entries)}, bytes={self._bytes}, "
-            f"max_bytes={self.max_bytes})"
-        )
+        with self._lock:
+            return (
+                f"FactorCache(entries={len(self._entries)}, bytes={self._bytes}, "
+                f"max_bytes={self.max_bytes})"
+            )
 
 
 def _default_budget() -> int:
@@ -594,9 +600,17 @@ class FactorPlane:
             specs.append((offset, arr.shape, arr.dtype.str))
             offset = _align8(offset + arr.nbytes)
         shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
-        for arr, (off, _, _) in zip(arrays, specs):
-            view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
-            view[...] = arr
+        try:
+            for arr, (off, _, _) in zip(arrays, specs, strict=True):
+                view = np.ndarray(arr.shape, dtype=arr.dtype, buffer=shm.buf, offset=off)
+                view[...] = arr
+        except Exception:
+            # the handle was never appended to _segments, so close()/unlink()
+            # would skip it — release it here or the /dev/shm entry outlives
+            # this failed publish
+            shm.close()
+            shm.unlink()
+            raise
         self._segments.append(shm)
         return SharedFactorHandle(
             key=key,
@@ -666,12 +680,20 @@ def attach_shared_factor(
             resource_tracker.unregister(shm._name, "shared_memory")
         except Exception:
             pass
-    arrays = []
-    for off, shape, dtype in handle.specs:
-        view = np.ndarray(tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=off)
-        view.flags.writeable = False
-        arrays.append(view)
-    return _rebuild_factor(handle.meta, arrays), shm
+    try:
+        arrays = []
+        for off, shape, dtype in handle.specs:
+            view = np.ndarray(
+                tuple(shape), dtype=np.dtype(dtype), buffer=shm.buf, offset=off
+            )
+            view.flags.writeable = False
+            arrays.append(view)
+        return _rebuild_factor(handle.meta, arrays), shm
+    except Exception:
+        # rebuild failed (torn handle, truncated segment): the caller never
+        # received the segment, so this process must drop its mapping
+        shm.close()
+        raise
 
 
 # ================================================================== artifacts
@@ -711,10 +733,10 @@ class FactorArtifactStore:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._lock = threading.Lock()
-        self.hits = 0
-        self.misses = 0
-        self.saves = 0
-        self.save_skips = 0
+        self.hits = 0  # reprolint: guarded-by(_lock)
+        self.misses = 0  # reprolint: guarded-by(_lock)
+        self.saves = 0  # reprolint: guarded-by(_lock)
+        self.save_skips = 0  # reprolint: guarded-by(_lock)
 
     # ------------------------------------------------------------------ helpers
     @staticmethod

@@ -57,7 +57,7 @@ def incomplete_cholesky_factor(matrix: sparse.csr_matrix) -> sparse.csr_matrix:
     """
     a = sparse.csr_matrix(matrix)
     n = a.shape[0]
-    lower_rows: list[dict[int, float]] = [dict() for _ in range(n)]
+    lower_rows: list[dict[int, float]] = [{} for _ in range(n)]
     diag = np.zeros(n)
     indptr, indices, data = a.indptr, a.indices, a.data
     for i in range(n):

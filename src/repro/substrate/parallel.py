@@ -515,6 +515,7 @@ class ParallelExtractor(SubstrateSolver):
                 except Exception:
                     pass
             handles = self._export_factor_handles()
+            # reprolint: owned-by(ParallelExtractor)
             self._pool = ProcessPoolExecutor(
                 max_workers=self.n_workers,
                 mp_context=self._context,
@@ -639,7 +640,7 @@ class ParallelExtractor(SubstrateSolver):
                     shm_name,
                     v.shape,
                 )
-                for lo, hi in zip(bounds[:-1], bounds[1:])
+                for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
                 if hi > lo
             ]
             out = np.empty_like(v)

@@ -113,12 +113,24 @@ class TiledCholeskyFactor:
         self.spilled = self.nbytes > int(spill_over_bytes)
         self.scratch_path: str | None = None
         if self.spilled:
+            # reprolint: owned-by(TiledCholeskyFactor)
             fd, path = tempfile.mkstemp(
                 prefix="repro_tiled_", suffix=".factor", dir=tiled_scratch_dir()
             )
             os.close(fd)
             self.scratch_path = path
-            self._l = np.memmap(path, dtype=np.float64, mode="w+", shape=(n, n))
+            try:
+                # reprolint: owned-by(TiledCholeskyFactor)
+                self._l = np.memmap(path, dtype=np.float64, mode="w+", shape=(n, n))
+            except (OSError, ValueError):
+                # mapping n*n*8 bytes can fail (full scratch disk, address
+                # space); the mkstemp file would otherwise linger forever
+                self.scratch_path = None
+                try:
+                    os.unlink(path)
+                except OSError:
+                    pass
+                raise
         else:
             self._l = np.zeros((n, n))
         self._factored = False

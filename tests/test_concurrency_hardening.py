@@ -1,0 +1,209 @@
+"""Targeted regression tests for the fixes reprolint's first sweep forced.
+
+Each test pins one concrete repair: an error path that used to leak a
+resource (sqlite connection, tiled scratch file, shared-memory segment), a
+counter that used to be bumped outside its lock, and the pickle trust
+boundary the HTTP server now enforces on ``/submit``.
+"""
+
+from __future__ import annotations
+
+import json
+import sqlite3
+import urllib.error
+from multiprocessing import shared_memory
+
+import numpy as np
+import pytest
+
+from importlib import import_module
+
+import repro.service.persistence as persistence_mod
+import repro.service.server as server_mod
+import repro.substrate.tiled as tiled_mod
+
+# ``repro.substrate`` re-exports a ``factor_cache()`` function under the same
+# name as the module, so a plain ``import ... as`` would bind the function
+factor_cache_mod = import_module("repro.substrate.factor_cache")
+from repro import regular_grid
+from repro.service import ExtractionServer, JobRequest, JobState, Scheduler, ServiceClient
+from repro.service.persistence import JobJournal, SqliteResultBackend
+from repro.service.server import _is_loopback_address
+from repro.substrate.factor_cache import FactorPlane, SharedFactorHandle
+from repro.substrate.parallel import SolverSpec
+from repro.substrate.tiled import TiledCholeskyFactor
+
+
+@pytest.fixture(scope="module")
+def tiny_spec():
+    """4-contact dense spec: cheap enough to solve inside a unit test."""
+    layout = regular_grid(n_side=2, size=128.0, fill=0.5)
+    g = 4.0 * np.eye(4) - 0.5 * (np.ones((4, 4)) - np.eye(4))
+    return SolverSpec.dense(g, layout)
+
+
+# ------------------------------------------------------- sqlite backend init
+class _FailingConn:
+    def __init__(self):
+        self.closed = False
+
+    def execute(self, *args):
+        raise sqlite3.OperationalError("disk I/O error")
+
+    def close(self):
+        self.closed = True
+
+
+def test_sqlite_backend_init_failure_closes_connection(tmp_path, monkeypatch):
+    fake = _FailingConn()
+    monkeypatch.setattr(
+        persistence_mod.sqlite3, "connect", lambda *args, **kwargs: fake
+    )
+    with pytest.raises(sqlite3.OperationalError):
+        SqliteResultBackend(tmp_path / "results.sqlite")
+    assert fake.closed, "half-initialised connection leaked"
+
+
+# -------------------------------------------------------- journal corruption
+def test_journal_recover_counts_corrupt_lines_under_lock(tmp_path):
+    path = tmp_path / "journal.jsonl"
+    path.write_text("this is not a journal entry\n", encoding="utf-8")
+    journal = JobJournal(path)
+    try:
+        with pytest.warns(RuntimeWarning, match="corrupt journal entry"):
+            replay, known_ids, max_seq = journal.recover()
+        assert replay == [] and known_ids == set() and max_seq == 0
+        assert journal.info()["corrupt_skipped"] == 1
+    finally:
+        journal.close()
+
+
+# ------------------------------------------------------- tiled scratch files
+def test_tiled_scratch_file_unlinked_when_memmap_fails(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_TILED_SCRATCH_DIR", str(tmp_path))
+
+    def failing_memmap(*args, **kwargs):
+        raise OSError("cannot map scratch file")
+
+    monkeypatch.setattr(tiled_mod.np, "memmap", failing_memmap)
+    with pytest.raises(OSError, match="cannot map"):
+        TiledCholeskyFactor(n=8, spill_over_bytes=0)  # forces the spill path
+    assert list(tmp_path.iterdir()) == [], "orphaned mkstemp scratch file"
+
+
+# -------------------------------------------------- shared-memory factor plane
+@pytest.fixture
+def tracked_segments(monkeypatch):
+    """Route segment creation/attachment through a subclass that records
+    every instance, so tests can assert release without knowing names."""
+    captured = []
+
+    class TrackingSharedMemory(shared_memory.SharedMemory):
+        def __init__(self, *args, **kwargs):
+            super().__init__(*args, **kwargs)
+            captured.append(self)
+
+    monkeypatch.setattr(shared_memory, "SharedMemory", TrackingSharedMemory)
+    return captured
+
+
+class _UnserialisablePayload:
+    """Quacks like an array for spec computation but cannot be copied into
+    the segment, so publish fails after creating the shared memory."""
+
+    shape = (2,)
+    dtype = np.dtype(np.float64)
+    nbytes = 16
+
+
+def test_publish_failure_closes_and_unlinks_segment(monkeypatch, tracked_segments):
+    bad_payload = _UnserialisablePayload()
+    monkeypatch.setattr(
+        factor_cache_mod, "_flatten_factor", lambda factor: ({"kind": "x"}, [bad_payload])
+    )
+    plane = FactorPlane()
+    with pytest.raises(TypeError):
+        plane.publish(("key",), object())
+    assert plane._segments == []
+    assert len(tracked_segments) == 1
+    leaked = tracked_segments[0]
+    with pytest.raises(FileNotFoundError):
+        # reprolint: disable=RR200 -- asserted to raise: no segment is ever attached
+        shared_memory.SharedMemory(name=leaked.name)
+
+
+def test_attach_failure_closes_this_processes_mapping(monkeypatch, tracked_segments):
+    owner = shared_memory.SharedMemory(create=True, size=16)
+    try:
+        handle = SharedFactorHandle(
+            key=("key",),
+            segment_name=owner.name,
+            meta={"kind": "x"},
+            specs=((0, (2,), "<f8"),),
+            nbytes=16,
+        )
+
+        def failing_rebuild(meta, arrays):
+            raise RuntimeError("torn handle")
+
+        monkeypatch.setattr(factor_cache_mod, "_rebuild_factor", failing_rebuild)
+        with pytest.raises(RuntimeError, match="torn handle"):
+            factor_cache_mod.attach_shared_factor(handle)
+        attached = tracked_segments[-1]
+        assert attached is not owner
+        assert attached.buf is None, "failed attach left its mapping open"
+    finally:
+        owner.close()
+        owner.unlink()
+
+
+# ------------------------------------------------ scheduler solve attribution
+def test_attributed_solves_visible_in_stats(tiny_spec):
+    scheduler = Scheduler(n_workers=1, autostart=False)
+    try:
+        scheduler.submit(JobRequest(tiny_spec, columns=(0, 2)))
+        scheduler.step()
+        stats = scheduler.stats()
+        assert stats["attributed_solves"] >= 1
+    finally:
+        scheduler.close()
+
+
+# -------------------------------------------------------- pickle trust boundary
+@pytest.mark.parametrize(
+    ("host", "trusted"),
+    [
+        ("", True),  # AF_UNIX / missing peer address
+        ("127.0.0.1", True),
+        ("127.8.9.10", True),  # anywhere in 127/8
+        ("::1", True),
+        ("10.0.0.1", False),
+        ("192.168.1.20", False),
+        ("fe80::1%eth0", False),  # zone id must not break parsing
+        ("not-an-address", False),
+    ],
+)
+def test_is_loopback_address(host, trusted):
+    assert _is_loopback_address(host) is trusted
+
+
+def test_submit_refused_for_non_loopback_peer(tiny_spec, monkeypatch):
+    with ExtractionServer(n_workers=1) as server:
+        client = ServiceClient(server.url, timeout_s=10.0)
+        monkeypatch.setattr(server_mod, "_is_loopback_address", lambda host: False)
+        with pytest.raises(urllib.error.HTTPError) as err:
+            client.submit(JobRequest(tiny_spec, columns=(0,)))
+        assert err.value.code == 403
+        body = json.loads(err.value.read().decode("utf-8"))
+        assert "pickle" in body["error"]
+        # pickle-free GET endpoints stay open to any peer
+        assert client.healthz()["ok"] is True
+
+
+def test_submit_allowed_again_with_explicit_override(tiny_spec, monkeypatch):
+    with ExtractionServer(n_workers=1, allow_untrusted_pickle=True) as server:
+        monkeypatch.setattr(server_mod, "_is_loopback_address", lambda host: False)
+        client = ServiceClient(server.url, timeout_s=30.0)
+        job_id = client.submit(JobRequest(tiny_spec, columns=(0,)))
+        snapshot = client.wait(job_id, timeout_s=30.0)
+        assert snapshot["status"] == JobState.DONE

@@ -19,7 +19,8 @@ def layout():
 
 
 @pytest.fixture(scope="module")
-def reference_matrix(rng_module=np.random.default_rng(3)):
+def reference_matrix():
+    rng_module = np.random.default_rng(3)
     a = rng_module.standard_normal((9, 9))
     spd = a @ a.T + 9 * np.eye(9)
     # make it look like a conductance matrix: negative off-diagonals

@@ -247,7 +247,7 @@ def test_fd_direct_engine_solves_match_iterative(tiny_layout):
 
 @pytest.mark.parametrize("grounded", [True, False], ids=["grounded", "floating"])
 def test_fd_direct_extraction_matches_iterative(tiny_layout, grounded):
-    kwargs = dict(nx=8, ny=8, planes_per_layer=2, rtol=1e-12)
+    kwargs = {"nx": 8, "ny": 8, "planes_per_layer": 2, "rtol": 1e-12}
     direct = FiniteDifferenceSolver(
         tiny_layout,
         _profile(grounded),

@@ -158,7 +158,7 @@ def test_solver_max_direct_panels_zero_still_means_iterative_only(tiny_layout):
 def test_tiled_extraction_matches_direct(tiny_layout, grounded):
     """The acceptance gate: above max_direct_panels the tiled path extracts
     an identical G — including the floating (Schur-complement) case."""
-    kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False)
+    kwargs = {"max_panels": 32, "rtol": 1e-10, "fft_workers": 1, "use_factor_cache": False}
     ref = EigenfunctionSolver(
         tiny_layout, _profile(grounded),
         dispatch=DispatchPolicy(force_path="direct"), **kwargs,
@@ -181,7 +181,7 @@ def test_tiled_extraction_matches_direct(tiny_layout, grounded):
 
 
 def test_tiled_gauge_constants_match_direct(tiny_layout):
-    kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False)
+    kwargs = {"max_panels": 32, "rtol": 1e-10, "fft_workers": 1, "use_factor_cache": False}
     ref = EigenfunctionSolver(
         tiny_layout, _profile(False),
         dispatch=DispatchPolicy(force_path="direct"), **kwargs,
@@ -202,7 +202,7 @@ def test_tiled_gauge_constants_match_direct(tiny_layout):
 def test_tiled_spilled_extraction_matches(tiny_layout):
     """Forcing the scratch file (spill_over_bytes=0) changes storage, not
     results."""
-    kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1, use_factor_cache=False)
+    kwargs = {"max_panels": 32, "rtol": 1e-10, "fft_workers": 1, "use_factor_cache": False}
     ref = EigenfunctionSolver(
         tiny_layout, _profile(),
         dispatch=DispatchPolicy(force_path="direct"), **kwargs,
@@ -349,7 +349,7 @@ def test_second_solver_adopts_cached_tiled_factor(tiny_layout, grounded):
 
     factor_cache_clear("bem_tiled_factor")
     try:
-        kwargs = dict(max_panels=32, rtol=1e-10, fft_workers=1)
+        kwargs = {"max_panels": 32, "rtol": 1e-10, "fft_workers": 1}
         first = EigenfunctionSolver(
             tiny_layout, _profile(grounded),
             dispatch=DispatchPolicy(force_path="tiled"), **kwargs,

@@ -1,0 +1,6 @@
+"""Repository maintenance tooling (static analysis, CI helpers).
+
+Nothing in this package is imported by the library under ``src/`` — these
+are developer/CI tools only, kept dependency-free (stdlib) so the lint job
+can run them without installing the scientific stack.
+"""

@@ -1,0 +1,67 @@
+"""CLI: ``python -m tools.reprolint [paths...] [--explain RULE] [--report F]``."""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .engine import lint_paths
+from .rules import RULES, explain
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m tools.reprolint",
+        description=(
+            "Concurrency- and resource-safety lint: guarded-by lock "
+            "discipline, resource leak paths, pickle trust boundary."
+        ),
+    )
+    parser.add_argument("paths", nargs="*", help="files or directories to lint")
+    parser.add_argument(
+        "--explain",
+        metavar="RULE",
+        help="print the catalogue entry for one rule id and exit",
+    )
+    parser.add_argument(
+        "--list-rules", action="store_true", help="print every rule id and exit"
+    )
+    parser.add_argument(
+        "--report",
+        metavar="FILE",
+        help="also write the diagnostics (or a clean-run marker) to FILE",
+    )
+    args = parser.parse_args(argv)
+
+    if args.explain:
+        rule_id = args.explain.upper()
+        if rule_id not in RULES:
+            known = ", ".join(sorted(RULES))
+            print(f"unknown rule {args.explain!r}; known rules: {known}")
+            return 2
+        print(explain(rule_id))
+        return 0
+    if args.list_rules:
+        for rule_id in sorted(RULES):
+            print(f"{rule_id}  {RULES[rule_id]['title']}")
+        return 0
+    if not args.paths:
+        parser.error("no paths given (and neither --explain nor --list-rules)")
+
+    diags, n_files = lint_paths(args.paths)
+    lines = [diag.format() for diag in diags]
+    summary = (
+        f"reprolint: {len(diags)} finding(s) across {n_files} file(s)"
+        if diags
+        else f"reprolint: clean ({n_files} file(s) scanned)"
+    )
+    body = "\n".join([*lines, summary])
+    print(body)
+    if args.report:
+        with open(args.report, "w", encoding="utf-8") as fh:
+            fh.write(body + "\n")
+    return 1 if diags else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,139 @@
+"""Lint driver: parse, run every rule family, apply suppressions.
+
+Public entry points are :func:`lint_source` (one in-memory module, used by
+the fixture tests) and :func:`lint_paths` (files and directory trees, used
+by the CLI).  Suppression comments are applied here, after all checkers
+ran: a ``# reprolint: disable=RULE -- reason`` on (or directly above) the
+diagnosed line removes matching findings, but only when it carries a
+reason — a bare ``disable`` is itself the RS400 finding and suppresses
+nothing.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from .annotations import Annotations, parse_annotations
+from .diagnostics import Diagnostic
+from .leaks import check_leaks
+from .locks import check_locks
+from .pickles import check_pickles
+
+__all__ = ["lint_source", "lint_paths"]
+
+#: rules that may never be suppressed (meta-rules about the lint inputs)
+_UNSUPPRESSIBLE = frozenset({"RX000", "RS400"})
+
+_SKIP_DIR_NAMES = frozenset({"__pycache__", ".git", ".ruff_cache"})
+
+
+def _apply_suppressions(
+    diags: list[Diagnostic], ann: Annotations, path: str
+) -> list[Diagnostic]:
+    kept: list[Diagnostic] = []
+    for diag in diags:
+        directives = ann.get(diag.line)
+        if (
+            diag.rule not in _UNSUPPRESSIBLE
+            and directives is not None
+            and diag.rule in directives.disables
+            and directives.disables[diag.rule]
+        ):
+            continue
+        kept.append(diag)
+    # a reasonless disable is rejected whether or not anything matched it —
+    # it documents nothing and would silently rot
+    for directives in ann.by_line.values():
+        for rule, reason in directives.disables.items():
+            if not reason:
+                kept.append(
+                    Diagnostic(
+                        path,
+                        directives.line,
+                        1,
+                        "RS400",
+                        f"disable={rule} carries no reason; write "
+                        f"'disable={rule} -- <why this is safe>'",
+                    )
+                )
+    return kept
+
+
+def _annotation_findings(ann: Annotations, path: str) -> list[Diagnostic]:
+    diags = [
+        Diagnostic(path, line, 1, "RL101", message)
+        for line, message in ann.malformed
+    ]
+    for directives in ann.by_line.values():
+        for kind, present in (
+            ("guarded-by", directives.guarded_by is not None),
+            ("holds", bool(directives.holds)),
+            ("owned-by", directives.owned_by is not None),
+        ):
+            if present and kind not in directives.consumed:
+                diags.append(
+                    Diagnostic(
+                        path,
+                        directives.line,
+                        1,
+                        "RL101",
+                        f"{kind} annotation does not apply to this line "
+                        f"(no checker consumed it)",
+                    )
+                )
+    return diags
+
+
+def lint_source(source: str, path: str = "<string>") -> list[Diagnostic]:
+    """Lint one module's source text; returns sorted diagnostics."""
+    try:
+        tree = ast.parse(source)
+    except (SyntaxError, ValueError) as exc:
+        line = getattr(exc, "lineno", None) or 1
+        return [Diagnostic(path, line, 1, "RX000", f"parse failed: {exc}")]
+    ann = parse_annotations(source)
+    diags: list[Diagnostic] = []
+    diags.extend(check_locks(tree, ann, path))
+    diags.extend(check_leaks(tree, ann, path))
+    diags.extend(check_pickles(tree, ann, path))
+    diags.extend(_annotation_findings(ann, path))
+    diags = _apply_suppressions(diags, ann, path)
+    return sorted(set(diags), key=Diagnostic.sort_key)
+
+
+def _iter_python_files(paths: list[str | Path]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (_SKIP_DIR_NAMES & set(candidate.parts))
+            )
+        elif path.suffix == ".py":
+            files.append(path)
+    seen: set[Path] = set()
+    unique: list[Path] = []
+    for path in files:
+        if path not in seen:
+            seen.add(path)
+            unique.append(path)
+    return unique
+
+
+def lint_paths(paths: list[str | Path]) -> tuple[list[Diagnostic], int]:
+    """Lint files/trees; returns ``(diagnostics, files_scanned)``."""
+    diags: list[Diagnostic] = []
+    files = _iter_python_files(paths)
+    for path in files:
+        try:
+            source = path.read_text(encoding="utf-8")
+        except (OSError, UnicodeDecodeError) as exc:
+            diags.append(
+                Diagnostic(str(path), 1, 1, "RX000", f"unreadable: {exc}")
+            )
+            continue
+        diags.extend(lint_source(source, path=str(path)))
+    return sorted(diags, key=Diagnostic.sort_key), len(files)

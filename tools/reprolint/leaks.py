@@ -1,0 +1,292 @@
+"""RR200/RR201 — resource leak paths.
+
+Tracks creations of the handle-bearing resources this codebase uses —
+``SharedMemory``, ``np.memmap``, ``sqlite3.connect``,
+``ProcessPoolExecutor``, ``tempfile`` scratch files, bare ``open`` — and
+requires each one to be provably released:
+
+* created as a ``with`` context expression, or
+* released (``close``/``unlink``/``shutdown``/``terminate``, or
+  ``os.close``/``os.unlink``/``os.remove`` on it) inside a ``finally`` or
+  ``except`` block of the enclosing function, or
+* returned to the caller (ownership escapes), or
+* annotated ``# reprolint: owned-by(<owner>)`` — the claim that a named
+  long-lived owner's teardown releases it.
+
+A release that only exists on the straight-line path downgrades the
+finding to RR201 (leak on the error path) instead of RR200.  Creations
+assigned to ``self.<attr>`` always require the ``owned-by`` annotation:
+the handle outlives the frame, so only the owner's lifecycle can be
+audited.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .annotations import Annotations
+from .diagnostics import Diagnostic
+
+__all__ = ["check_leaks"]
+
+#: creator call name -> (required qualifier names, or None for any/bare)
+_CREATORS: dict[str, tuple[str, ...] | None] = {
+    "SharedMemory": None,
+    "memmap": ("np", "numpy"),
+    "connect": ("sqlite3",),
+    "ProcessPoolExecutor": None,
+    "NamedTemporaryFile": None,
+    "TemporaryFile": None,
+    "mkstemp": None,
+}
+
+_RELEASE_METHODS = frozenset(
+    {"close", "unlink", "shutdown", "terminate", "release"}
+)
+_RELEASE_FUNCTIONS = frozenset({"close", "unlink", "remove"})  # under os.*
+
+
+def _creator_label(call: ast.Call) -> str | None:
+    """The tracked creator this call invokes, or None."""
+    func = call.func
+    if isinstance(func, ast.Name):
+        if func.id == "open":
+            return "open"
+        if func.id in _CREATORS and _CREATORS[func.id] is None:
+            return func.id
+        if func.id in ("memmap", "mkstemp"):
+            return func.id
+        return None
+    if isinstance(func, ast.Attribute) and func.attr in _CREATORS:
+        qualifiers = _CREATORS[func.attr]
+        if qualifiers is None:
+            return func.attr
+        base = func.value
+        if isinstance(base, ast.Name) and base.id in qualifiers:
+            return func.attr
+        return None
+    if isinstance(func, ast.Attribute) and func.attr == "mkstemp":
+        return "mkstemp"
+    return None
+
+
+def _build_parents(root: ast.AST) -> dict[ast.AST, ast.AST]:
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(root):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    return parents
+
+
+def _is_release_on(node: ast.AST, names: set[str]) -> bool:
+    """True when ``node`` is a release call targeting one of ``names``."""
+    if not isinstance(node, ast.Call):
+        return False
+    func = node.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _RELEASE_METHODS
+        and isinstance(func.value, ast.Name)
+        and func.value.id in names
+    ):
+        return True
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in _RELEASE_FUNCTIONS
+        and isinstance(func.value, ast.Name)
+        and func.value.id == "os"
+    ):
+        return any(
+            isinstance(arg, ast.Name) and arg.id in names for arg in node.args
+        ) or any(
+            isinstance(sub, ast.Name) and sub.id in names
+            for arg in node.args
+            for sub in ast.walk(arg)
+        )
+    return False
+
+
+def _release_paths(scope: ast.AST, names: set[str]) -> tuple[bool, bool]:
+    """``(released_on_error_path, released_anywhere)`` for ``names`` in scope."""
+    on_error = False
+    anywhere = False
+    for node in ast.walk(scope):
+        if isinstance(node, ast.Try):
+            for region in [node.finalbody] + [h.body for h in node.handlers]:
+                for stmt in region:
+                    for sub in ast.walk(stmt):
+                        if _is_release_on(sub, names):
+                            on_error = True
+        if _is_release_on(node, names):
+            anywhere = True
+    return on_error, anywhere
+
+
+def _escaping_names(expr: ast.AST) -> set[str]:
+    """Names a returned/yielded expression hands out of the function.
+
+    An attribute read (``shm.name``) copies a field, it does not transfer
+    the handle — so attribute bases are not counted as escapes.
+    """
+    out: set[str] = set()
+
+    def visit(node: ast.AST) -> None:
+        if isinstance(node, ast.Attribute):
+            return
+        if isinstance(node, ast.Name):
+            out.add(node.id)
+            return
+        for child in ast.iter_child_nodes(node):
+            visit(child)
+
+    visit(expr)
+    return out
+
+
+def _is_returned(scope: ast.AST, names: set[str]) -> bool:
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, (ast.Return, ast.Yield, ast.YieldFrom))
+            and node.value is not None
+            and _escaping_names(node.value) & names
+        ):
+            return True
+    return False
+
+
+def _enclosing_function(
+    node: ast.AST, parents: dict[ast.AST, ast.AST], tree: ast.Module
+) -> ast.AST:
+    current = node
+    while current in parents:
+        current = parents[current]
+        if isinstance(current, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return current
+    return tree
+
+
+def _assignment_context(
+    call: ast.Call, parents: dict[ast.AST, ast.AST]
+) -> tuple[str, ast.AST | None, set[str]]:
+    """Classify where the created handle goes.
+
+    Returns ``(kind, stmt, names)`` with kind one of ``"with"`` (context
+    manager), ``"return"`` (ownership escapes immediately), ``"names"``
+    (bound to local names), ``"self"`` (stored on the instance) or
+    ``"loose"`` (used as a bare expression / argument).
+    """
+    current: ast.AST = call
+    while current in parents:
+        parent = parents[current]
+        if isinstance(parent, ast.withitem) and parent.context_expr is current:
+            return "with", None, set()
+        if isinstance(parent, ast.Return):
+            return "return", parent, set()
+        if isinstance(parent, (ast.Assign, ast.AnnAssign)) and (
+            getattr(parent, "value", None) is current
+        ):
+            targets = (
+                parent.targets
+                if isinstance(parent, ast.Assign)
+                else [parent.target]
+            )
+            names: set[str] = set()
+            stores_on_self = False
+            for target in targets:
+                for sub in ast.walk(target):
+                    if isinstance(sub, ast.Name):
+                        names.add(sub.id)
+                    elif (
+                        isinstance(sub, ast.Attribute)
+                        and isinstance(sub.value, ast.Name)
+                        and sub.value.id == "self"
+                    ):
+                        stores_on_self = True
+            if stores_on_self:
+                return "self", parent, names
+            if names:
+                return "names", parent, names
+            return "loose", parent, set()
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef, ast.stmt)):
+            return "loose", parent, set()
+        current = parent
+    return "loose", None, set()
+
+
+def check_leaks(
+    tree: ast.Module, ann: Annotations, path: str
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    parents = _build_parents(tree)
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        label = _creator_label(node)
+        if label is None:
+            continue
+        kind, stmt, names = _assignment_context(node, parents)
+        if kind in ("with", "return"):
+            continue
+        stmt_lines = (
+            node.lineno,
+            getattr(stmt, "lineno", None),
+            getattr(stmt, "end_lineno", None),
+        )
+        directives = ann.get(*stmt_lines)
+        if directives is not None and directives.owned_by is not None:
+            ann.consume(directives, "owned-by")
+            continue
+        if kind == "self":
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RR200",
+                    f"{label} handle stored on self outlives this frame; "
+                    f"declare its owner with '# reprolint: owned-by(...)'",
+                )
+            )
+            continue
+        if kind == "loose" or not names:
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RR200",
+                    f"{label} handle is never bound for release: use a "
+                    f"'with' block or annotate '# reprolint: owned-by(...)'",
+                )
+            )
+            continue
+        scope = _enclosing_function(node, parents, tree)
+        if _is_returned(scope, names):
+            continue
+        on_error, anywhere = _release_paths(scope, names)
+        if on_error:
+            continue
+        if anywhere:
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RR201",
+                    f"{label} handle is released only on the happy path; "
+                    f"move the release into a 'finally' block",
+                )
+            )
+        else:
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RR200",
+                    f"{label} handle has no release on any path: use "
+                    f"'with', release it in 'finally', or annotate "
+                    f"'# reprolint: owned-by(...)'",
+                )
+            )
+    return diags

@@ -1,0 +1,186 @@
+"""RL100 — guarded-by lock discipline.
+
+Per class: collect the attributes declared ``guarded-by(<lock>)`` on their
+``self.<attr> = ...`` assignments, then verify every other ``self.<attr>``
+access in that class's methods happens while the declared lock is held —
+lexically inside ``with self.<lock>:`` or in a method annotated
+``holds(<lock>)``.  ``__init__`` / ``__post_init__`` are exempt: until the
+constructor returns, no concurrent observer can hold a reference.
+
+Nested functions and lambdas are analysed with an *empty* held-lock set —
+they may execute later, on another thread, long after the enclosing
+``with`` block exited.  Comprehensions, by contrast, run inline at the
+point of the expression, so they inherit the current held set.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from .annotations import Annotations
+from .diagnostics import Diagnostic
+
+__all__ = ["check_locks"]
+
+_EXEMPT_METHODS = frozenset({"__init__", "__post_init__"})
+
+
+def _self_attr_targets(node: ast.stmt) -> list[str]:
+    """Attribute names of every ``self.<attr>`` target of an assignment."""
+    if isinstance(node, ast.Assign):
+        targets = node.targets
+    elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+        targets = [node.target]
+    else:
+        return []
+    names = []
+    for target in targets:
+        for sub in ast.walk(target):
+            if (
+                isinstance(sub, ast.Attribute)
+                and isinstance(sub.value, ast.Name)
+                and sub.value.id == "self"
+            ):
+                names.append(sub.attr)
+    return names
+
+
+def _collect_guarded(
+    cls: ast.ClassDef, ann: Annotations, path: str, diags: list[Diagnostic]
+) -> dict[str, str]:
+    """``{attr: lock}`` declared by guarded-by annotations inside ``cls``."""
+    guarded: dict[str, str] = {}
+    for node in ast.walk(cls):
+        if not isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            continue
+        directives = ann.get(node.lineno, getattr(node, "end_lineno", None))
+        if directives is None or directives.guarded_by is None:
+            continue
+        attrs = _self_attr_targets(node)
+        if not attrs:
+            ann.consume(directives, "guarded-by")
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RL101",
+                    "guarded-by must annotate a self.<attr> assignment",
+                )
+            )
+            continue
+        ann.consume(directives, "guarded-by")
+        for attr in attrs:
+            guarded[attr] = directives.guarded_by
+    return guarded
+
+
+class _MethodVisitor:
+    """Walks one method body tracking the lexically held lock set."""
+
+    def __init__(
+        self,
+        path: str,
+        guarded: dict[str, str],
+        lock_names: frozenset[str],
+        diags: list[Diagnostic],
+    ) -> None:
+        self.path = path
+        self.guarded = guarded
+        self.lock_names = lock_names
+        self.diags = diags
+
+    def _with_locks(self, node: ast.With | ast.AsyncWith) -> set[str]:
+        acquired = set()
+        for item in node.items:
+            expr = item.context_expr
+            if (
+                isinstance(expr, ast.Attribute)
+                and isinstance(expr.value, ast.Name)
+                and expr.value.id == "self"
+                and expr.attr in self.lock_names
+            ):
+                acquired.add(expr.attr)
+        return acquired
+
+    def walk(self, node: ast.AST, held: frozenset[str]) -> None:
+        if isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                self.walk(item.context_expr, held)
+                if item.optional_vars is not None:
+                    self.walk(item.optional_vars, held)
+            inner = held | self._with_locks(node)
+            for stmt in node.body:
+                self.walk(stmt, frozenset(inner))
+            return
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+            # defaults/decorators evaluate now, the body runs later (possibly
+            # on another thread, after the lock was dropped)
+            for default in getattr(node.args, "defaults", []):
+                self.walk(default, held)
+            for default in getattr(node.args, "kw_defaults", []):
+                if default is not None:
+                    self.walk(default, held)
+            for decorator in getattr(node, "decorator_list", []):
+                self.walk(decorator, held)
+            body = node.body if isinstance(node.body, list) else [node.body]
+            for stmt in body:
+                self.walk(stmt, frozenset())
+            return
+        if (
+            isinstance(node, ast.Attribute)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+            and node.attr in self.guarded
+        ):
+            lock = self.guarded[node.attr]
+            if lock not in held:
+                self.diags.append(
+                    Diagnostic(
+                        self.path,
+                        node.lineno,
+                        node.col_offset + 1,
+                        "RL100",
+                        f"attribute {node.attr!r} is guarded by self.{lock} "
+                        f"but accessed without holding it",
+                    )
+                )
+        for child in ast.iter_child_nodes(node):
+            self.walk(child, held)
+
+
+def check_locks(
+    tree: ast.Module, ann: Annotations, path: str
+) -> list[Diagnostic]:
+    diags: list[Diagnostic] = []
+    for cls in (n for n in ast.walk(tree) if isinstance(n, ast.ClassDef)):
+        guarded = _collect_guarded(cls, ann, path, diags)
+        if not guarded:
+            continue
+        lock_names = frozenset(guarded.values())
+        for method in cls.body:
+            if not isinstance(method, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            directives = ann.get(method.lineno)
+            holds: tuple[str, ...] = ()
+            if directives is not None and directives.holds:
+                ann.consume(directives, "holds")
+                holds = directives.holds
+                for lock in holds:
+                    if lock not in lock_names:
+                        diags.append(
+                            Diagnostic(
+                                path,
+                                method.lineno,
+                                method.col_offset + 1,
+                                "RL101",
+                                f"holds({lock}) names a lock no guarded "
+                                f"attribute of {cls.name} uses",
+                            )
+                        )
+            if method.name in _EXEMPT_METHODS:
+                continue
+            visitor = _MethodVisitor(path, guarded, lock_names, diags)
+            for stmt in method.body:
+                visitor.walk(stmt, frozenset(holds))
+    return diags

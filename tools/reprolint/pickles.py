@@ -1,0 +1,155 @@
+"""RP300/RP301 — pickle deserialisation trust boundary.
+
+``pickle.loads``/``pickle.load`` executes arbitrary code from its input,
+so call sites are confined to an explicit allowlist (journal replay in
+``persistence.py``, worker-spec shipping in ``parallel.py``, developer-run
+code under ``tests/``/``benchmarks/``/``examples/``).  ``server.py`` is a
+special case: its request handlers may unpickle, but only after the
+documented loopback guard (``_require_trusted_peer``) ran earlier in the
+same handler function.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import PurePosixPath
+
+from .annotations import Annotations
+from .diagnostics import Diagnostic
+
+__all__ = ["check_pickles", "ALLOWLIST", "GUARDED_FILES", "GUARD_NAMES"]
+
+#: path suffixes (or leading directories) where pickle deserialisation is
+#: an accepted, documented trust boundary
+ALLOWLIST: tuple[str, ...] = (
+    "repro/service/persistence.py",  # journal replay of self-written state
+    "repro/substrate/parallel.py",  # worker specs within one process tree
+)
+
+#: directory prefixes treated as developer-run (never service-reachable)
+DEV_DIRS: tuple[str, ...] = ("tests", "benchmarks", "examples")
+
+#: files whose handlers may unpickle *behind the loopback guard*
+GUARDED_FILES: tuple[str, ...] = ("repro/service/server.py",)
+
+#: a call to any of these names counts as the guard
+GUARD_NAMES: frozenset[str] = frozenset({"_require_trusted_peer"})
+
+
+def _classify_path(path: str) -> str:
+    """``"allow"``, ``"guarded"`` or ``"deny"`` for one source path."""
+    posix = PurePosixPath(path.replace("\\", "/"))
+    text = str(posix)
+    parts = posix.parts
+    if any(part in DEV_DIRS for part in parts):
+        return "allow"
+    if any(text.endswith(suffix) for suffix in ALLOWLIST):
+        return "allow"
+    if any(text.endswith(suffix) for suffix in GUARDED_FILES):
+        return "guarded"
+    return "deny"
+
+
+def _pickle_aliases(tree: ast.Module) -> tuple[set[str], set[str]]:
+    """(module aliases of ``pickle``, directly imported load/loads names)."""
+    modules: set[str] = set()
+    functions: set[str] = set()
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name == "pickle":
+                    modules.add(alias.asname or "pickle")
+        elif isinstance(node, ast.ImportFrom) and node.module == "pickle":
+            for alias in node.names:
+                if alias.name in ("load", "loads"):
+                    functions.add(alias.asname or alias.name)
+    return modules, functions
+
+
+def _is_pickle_load(
+    call: ast.Call, modules: set[str], functions: set[str]
+) -> bool:
+    func = call.func
+    if (
+        isinstance(func, ast.Attribute)
+        and func.attr in ("load", "loads")
+        and isinstance(func.value, ast.Name)
+        and func.value.id in modules
+    ):
+        return True
+    return isinstance(func, ast.Name) and func.id in functions
+
+
+def _guard_runs_before(
+    scope: ast.AST | None, load_line: int
+) -> bool:
+    """True when a guard call appears in ``scope`` before ``load_line``."""
+    if scope is None:
+        return False
+    for node in ast.walk(scope):
+        if (
+            isinstance(node, ast.Call)
+            and node.lineno < load_line
+            and (
+                (isinstance(node.func, ast.Name) and node.func.id in GUARD_NAMES)
+                or (
+                    isinstance(node.func, ast.Attribute)
+                    and node.func.attr in GUARD_NAMES
+                )
+            )
+        ):
+            return True
+    return False
+
+
+def check_pickles(
+    tree: ast.Module, ann: Annotations, path: str
+) -> list[Diagnostic]:
+    verdict = _classify_path(path)
+    if verdict == "allow":
+        return []
+    modules, functions = _pickle_aliases(tree)
+    if not modules and not functions:
+        return []
+    parents: dict[ast.AST, ast.AST] = {}
+    for node in ast.walk(tree):
+        for child in ast.iter_child_nodes(node):
+            parents[child] = node
+    diags: list[Diagnostic] = []
+    for node in ast.walk(tree):
+        if not isinstance(node, ast.Call):
+            continue
+        if not _is_pickle_load(node, modules, functions):
+            continue
+        if verdict == "guarded":
+            scope: ast.AST | None = node
+            while scope in parents:
+                scope = parents[scope]
+                if isinstance(scope, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    break
+            else:
+                scope = None
+            if _guard_runs_before(scope, node.lineno):
+                continue
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RP301",
+                    "handler unpickles without calling "
+                    "_require_trusted_peer() first",
+                )
+            )
+        else:
+            diags.append(
+                Diagnostic(
+                    path,
+                    node.lineno,
+                    node.col_offset + 1,
+                    "RP300",
+                    "pickle deserialisation outside the allowlisted trust "
+                    "boundary (see --explain RP300)",
+                )
+            )
+    return diags
