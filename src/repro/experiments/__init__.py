@@ -7,6 +7,7 @@ from .runner import (
     run_dispatch_experiment,
     run_durable_experiment,
     run_factor_plane_experiment,
+    run_faults_experiment,
     run_lowrank_experiment,
     run_method_comparison,
     run_parallel_extraction_experiment,
@@ -32,6 +33,7 @@ __all__ = [
     "run_dispatch_experiment",
     "run_durable_experiment",
     "run_factor_plane_experiment",
+    "run_faults_experiment",
     "run_parallel_extraction_experiment",
     "run_service_experiment",
     "singular_value_decay_experiment",

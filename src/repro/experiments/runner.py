@@ -1185,6 +1185,281 @@ def run_durable_experiment(
     return record
 
 
+def run_faults_experiment(
+    n_side: int = 16,
+    size: float = 128.0,
+    fill: float = 0.5,
+    rtol: float = 1e-8,
+    max_panels: int = 256,
+    n_clients: int = 4,
+    columns_per_client: int | None = None,
+    n_workers: int | None = None,
+    seed: int = 0,
+    max_attempts: int = 3,
+) -> dict:
+    """Chaos suite: the extraction service under deterministically injected faults.
+
+    Four arms over one substrate and one overlapping multi-client workload
+    (same construction as :func:`run_service_experiment`):
+
+    * **baseline** — fault-free run; its results are the accuracy reference
+      and its attribution (one solve per distinct union column) the
+      attribution reference;
+    * **worker_kill** — a :mod:`repro.faults` plan kills the pool worker
+      serving shard 0 mid-``solve_many`` (``once_key`` token: exactly one
+      kill across every worker generation).  The supervised extractor must
+      rebuild the pool and finish every job with >= 1 ``pool_rebuilds``,
+      results at 1e-10 of baseline, and identical attribution;
+    * **factor_retry** — engine construction fails transiently (one injected
+      ``RuntimeError`` at ``factor.build``); the scheduler's
+      :class:`~repro.service.scheduler.RetryPolicy` must land every job
+      within ``max_attempts``, again with identical attribution;
+    * **overload** — a bounded queue (``max_queue_depth=n_clients``) is
+      filled with priority-0 jobs through the real HTTP server; two
+      priority-5 submissions must displace exactly the two youngest low-
+      priority jobs (terminal ``"shed"``), one more priority-0 submission
+      must be refused with HTTP 429 (surfaced as
+      :class:`~repro.service.scheduler.QueueSaturatedError` + Retry-After),
+      an injected ``dispatch.cycle`` drop must leave the queue intact, and
+      every surviving job must complete at 1e-10 of baseline.
+
+    This is the experiment behind ``BENCH_faults.json``.
+    """
+    import json
+    import os
+    import tempfile
+    from concurrent.futures import ThreadPoolExecutor
+
+    from .. import faults
+    from ..geometry.layouts import regular_grid
+    from ..service import (
+        ExtractionServer,
+        JobRequest,
+        QueueSaturatedError,
+        RetryPolicy,
+        Scheduler,
+        ServiceClient,
+    )
+    from ..substrate.factor_cache import factor_cache
+    from ..substrate.parallel import SolverSpec
+    from ..substrate.profile import SubstrateProfile
+
+    layout = regular_grid(n_side=n_side, size=size, fill=fill)
+    profile = SubstrateProfile.two_layer_example(size=size, resistive_bottom=True)
+    n = layout.n_contacts
+    if columns_per_client is None:
+        # wide enough that the union block takes the sharded pool path
+        # (min_parallel_columns) even at smoke scale — the kill arm needs
+        # actual worker processes to kill
+        columns_per_client = max(8, n // 4)
+    columns_per_client = min(columns_per_client, n)
+    spec = SolverSpec.bem(layout, profile, max_panels=max_panels, rtol=rtol)
+    workers = int(n_workers) if n_workers is not None else 2
+    policy = RetryPolicy(max_attempts=max_attempts, base_delay_s=0.01, cap_s=0.1)
+
+    rng = np.random.default_rng(seed)
+    client_columns = [
+        tuple(
+            int(c)
+            for c in np.sort(
+                rng.choice(n, size=columns_per_client, replace=False)
+            )
+        )
+        for _ in range(n_clients)
+    ]
+    union = sorted({c for cols in client_columns for c in cols})
+
+    def run_clients(scheduler) -> dict:
+        results: list[np.ndarray | None] = [None] * n_clients
+        status: list[str] = ["?"] * n_clients
+        attempts: list[int] = [0] * n_clients
+
+        def one(i: int) -> None:
+            job_id = scheduler.submit(JobRequest(spec, columns=client_columns[i]))
+            job = scheduler.result(job_id, wait_s=600.0)
+            status[i] = job.status
+            attempts[i] = job.attempts
+            results[i] = job.result
+
+        start = time.perf_counter()
+        with ThreadPoolExecutor(max_workers=n_clients) as executor:
+            list(executor.map(one, range(n_clients)))
+        return {
+            "elapsed_s": time.perf_counter() - start,
+            "results": results,
+            "status": status,
+            "attempts": attempts,
+        }
+
+    def rel_diff(results: list) -> float:
+        return float(
+            max(
+                np.abs(results[i] - baseline["results"][i]).max() / scale
+                if results[i] is not None
+                else float("inf")
+                for i in range(n_clients)
+            )
+        )
+
+    record: dict = {
+        "n_side": int(n_side),
+        "n_contacts": int(n),
+        "n_clients": int(n_clients),
+        "columns_per_client": int(columns_per_client),
+        "union_columns": len(union),
+        "n_workers": workers,
+        "max_attempts": int(max_attempts),
+    }
+
+    # --- arm 0: fault-free baseline -------------------------------------
+    factor_cache().clear()
+    with Scheduler(n_workers=workers, retry_policy=policy) as scheduler:
+        baseline = run_clients(scheduler)
+        record["baseline"] = {
+            "elapsed_s": float(baseline["elapsed_s"]),
+            "status": baseline["status"],
+            "attempts": baseline["attempts"],
+            "attributed_solves": int(scheduler.attributed_solves),
+        }
+    scale = float(max(np.abs(g).max() for g in baseline["results"]))
+
+    # --- arm 1: kill a pool worker mid-solve ----------------------------
+    with tempfile.TemporaryDirectory(prefix="repro_faults_") as token_dir:
+        plan = {
+            "token_dir": token_dir,
+            "faults": [
+                {
+                    "site": "worker.solve",
+                    "action": "kill",
+                    "match": {"start": 0},
+                    "once_key": "bench-kill-worker",
+                }
+            ],
+        }
+        # via the environment, so worker processes inherit the plan under
+        # both fork and spawn start methods
+        previous = os.environ.get(faults.ENV_VAR)
+        os.environ[faults.ENV_VAR] = json.dumps(plan)
+        active = faults.reload_env_plan()
+        try:
+            factor_cache().clear()
+            with Scheduler(n_workers=max(workers, 2), retry_policy=policy) as scheduler:
+                kill = run_clients(scheduler)
+                counters = scheduler.metrics.fault_counters()
+                record["worker_kill"] = {
+                    "elapsed_s": float(kill["elapsed_s"]),
+                    "status": kill["status"],
+                    "attempts": kill["attempts"],
+                    "attributed_solves": int(scheduler.attributed_solves),
+                    "pool_rebuilds": int(counters["pool_rebuilds"]),
+                    "degraded_solves": int(counters["degraded_solves"]),
+                    "fault_fired": bool(active.once_tripped("bench-kill-worker")),
+                    "max_abs_diff_rel": rel_diff(kill["results"]),
+                }
+        finally:
+            if previous is None:
+                os.environ.pop(faults.ENV_VAR, None)
+            else:
+                os.environ[faults.ENV_VAR] = previous
+            faults.clear_plan()
+
+    # --- arm 2: transient engine-build failure, retried -----------------
+    factor_cache().clear()
+    with faults.inject(
+        [
+            {
+                "site": "factor.build",
+                "action": "raise",
+                "exception": "RuntimeError",
+                "times": 1,
+            }
+        ]
+    ):
+        with Scheduler(n_workers=workers, retry_policy=policy) as scheduler:
+            retry = run_clients(scheduler)
+            counters = scheduler.metrics.fault_counters()
+            record["factor_retry"] = {
+                "elapsed_s": float(retry["elapsed_s"]),
+                "status": retry["status"],
+                "attempts": retry["attempts"],
+                "attributed_solves": int(scheduler.attributed_solves),
+                "retries": int(counters["retries"]),
+                "max_abs_diff_rel": rel_diff(retry["results"]),
+            }
+
+    # --- arm 3: overload shedding through the HTTP front end ------------
+    factor_cache().clear()
+    depth = n_clients
+    scheduler = Scheduler(
+        n_workers=workers,
+        retry_policy=policy,
+        autostart=False,  # the queue must fill deterministically
+        max_queue_depth=depth,
+    )
+    try:
+        with ExtractionServer(scheduler=scheduler) as server:
+            client = ServiceClient(server.url, timeout_s=600.0)
+            low_ids = [
+                client.submit(
+                    JobRequest(spec, columns=client_columns[i % n_clients], priority=0)
+                )
+                for i in range(depth)
+            ]
+            high_ids = [
+                client.submit(
+                    JobRequest(spec, columns=client_columns[i % n_clients], priority=5)
+                )
+                for i in range(2)
+            ]
+            rejected = False
+            retry_after_s = None
+            try:
+                client.submit(JobRequest(spec, columns=client_columns[0], priority=0))
+            except QueueSaturatedError as exc:
+                rejected = True
+                retry_after_s = float(exc.retry_after_s)
+            # a dropped dispatch cycle leaves the queue untouched
+            with faults.inject(
+                [{"site": "dispatch.cycle", "action": "drop", "times": 1}]
+            ):
+                served_during_drop = scheduler.step()
+            depth_after_drop = scheduler.queue_depth
+            served = 0
+            while scheduler.queue_depth:
+                served += scheduler.step()
+            low_status = [client.result(job_id)["status"] for job_id in low_ids]
+            high_status = [client.result(job_id)["status"] for job_id in high_ids]
+            survivor_diff = 0.0
+            for status, ids in ((low_status, low_ids), (high_status, high_ids)):
+                for i, job_id in enumerate(ids):
+                    if status[i] != "done":
+                        continue
+                    got = np.asarray(client.result(job_id)["result"])
+                    expected = baseline["results"][i % n_clients]
+                    survivor_diff = max(
+                        survivor_diff, float(np.abs(got - expected).max() / scale)
+                    )
+            counters = scheduler.metrics.fault_counters()
+            record["overload"] = {
+                "queue_depth": depth,
+                "low_status": low_status,
+                "high_status": high_status,
+                "shed": int(scheduler.metrics.jobs_shed),
+                "submits_rejected": int(counters["submits_rejected"]),
+                "rejected_over_http": rejected,
+                "retry_after_s": retry_after_s,
+                "served_during_drop": int(served_during_drop),
+                "queue_depth_after_drop": int(depth_after_drop),
+                "served_after_drop": int(served),
+                "max_abs_diff_rel": float(survivor_diff),
+            }
+    finally:
+        scheduler.close()
+        factor_cache().clear()
+    record["cpu_count"] = int(os.cpu_count() or 1)
+    return record
+
+
 def singular_value_decay_experiment(
     layout: ContactLayout,
     g: np.ndarray,

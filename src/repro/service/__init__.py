@@ -18,6 +18,15 @@ state durable: point the scheduler (or ``python -m repro.service
 artifacts and accepted-job journal survive restarts — a warm restart serves
 the previous corpus with zero new solves and zero factor rebuilds.
 
+The service is also fault-tolerant: batches that fail are retried with
+exponential backoff (:class:`~repro.service.scheduler.RetryPolicy`), a
+broken worker pool is torn down and rebuilt mid-block (degrading to inline
+solves when rebuilds keep failing), repeatedly failing substrates trip a
+per-fingerprint :class:`~repro.service.scheduler.CircuitBreaker`, and a
+bounded queue sheds the lowest-priority work under overload
+(:class:`~repro.service.scheduler.QueueSaturatedError` / HTTP 429).  Every
+failure mode is reproducible on demand through :mod:`repro.faults`.
+
 Quickstart::
 
     from repro.service import ExtractionServer, JobRequest, ServiceClient
@@ -40,7 +49,13 @@ from .jobs import Job, JobExpiredError, JobRequest, JobState
 from .metrics import ServiceMetrics
 from .persistence import JobJournal, ServicePersistence, SqliteResultBackend
 from .result_store import ResultStore
-from .scheduler import ExtractorPool, Scheduler
+from .scheduler import (
+    CircuitBreaker,
+    ExtractorPool,
+    QueueSaturatedError,
+    RetryPolicy,
+    Scheduler,
+)
 from .server import ExtractionServer, ServiceClient
 
 __all__ = [
@@ -55,6 +70,9 @@ __all__ = [
     "ResultStore",
     "ExtractorPool",
     "Scheduler",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "QueueSaturatedError",
     "ExtractionServer",
     "ServiceClient",
 ]

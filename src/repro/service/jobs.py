@@ -27,7 +27,7 @@ from ..substrate.parallel import SolverSpec
 __all__ = ["JobRequest", "JobState", "Job", "JobExpiredError"]
 
 #: terminal and non-terminal states a job moves through
-JOB_STATES = ("pending", "running", "done", "failed", "cancelled", "timeout")
+JOB_STATES = ("pending", "running", "done", "failed", "cancelled", "timeout", "shed")
 
 
 class JobExpiredError(KeyError):
@@ -48,9 +48,11 @@ class JobState:
     FAILED = "failed"
     CANCELLED = "cancelled"
     TIMEOUT = "timeout"
+    #: displaced from a saturated queue by a higher-priority submission
+    SHED = "shed"
 
     #: states from which a job can no longer change
-    TERMINAL = (DONE, FAILED, CANCELLED, TIMEOUT)
+    TERMINAL = (DONE, FAILED, CANCELLED, TIMEOUT, SHED)
 
 
 @dataclass(frozen=True)
@@ -159,6 +161,13 @@ class Job:
     started_at: float | None = None
     finished_at: float | None = None
     error: str | None = None
+    #: truncated traceback of the exception behind ``error`` (lets a client
+    #: diagnose a failed job without access to the server's stderr)
+    error_traceback: str | None = None
+    #: solve attempts this job's coalesced group has consumed so far
+    attempts: int = 0
+    #: per-attempt failure records: ``{"attempt", "error", "traceback"}``
+    history: list = field(default_factory=list)
     result: np.ndarray | None = None
     result_columns: tuple[int, ...] | None = None
     pair_values: np.ndarray | None = None
@@ -196,6 +205,9 @@ class Job:
             "finished_at": self.finished_at,
             "latency_s": self.latency_s,
             "error": self.error,
+            "error_traceback": self.error_traceback,
+            "attempts": self.attempts,
+            "history": [dict(entry) for entry in self.history],
             "columns": (
                 list(self.result_columns) if terminal and self.result_columns else None
             ),

@@ -62,8 +62,20 @@ class ServiceMetrics:
         self.jobs_failed = 0  # reprolint: guarded-by(_lock)
         self.jobs_cancelled = 0  # reprolint: guarded-by(_lock)
         self.jobs_timeout = 0  # reprolint: guarded-by(_lock)
+        #: queued jobs displaced by admission control (terminal "shed" state)
+        self.jobs_shed = 0  # reprolint: guarded-by(_lock)
+        #: submissions refused outright by admission control (HTTP 429)
+        self.submits_rejected = 0  # reprolint: guarded-by(_lock)
         #: journaled jobs re-queued at startup
         self.jobs_replayed = 0  # reprolint: guarded-by(_lock)
+        #: failed batch attempts that were retried (backoff) instead of failed
+        self.retries = 0  # reprolint: guarded-by(_lock)
+        #: circuit-breaker trips (closed/half-open -> open transitions)
+        self.breaker_open = 0  # reprolint: guarded-by(_lock)
+        #: broken worker pools torn down and rebuilt mid-batch
+        self.pool_rebuilds = 0  # reprolint: guarded-by(_lock)
+        #: columns served by inline degradation after pool resurrection failed
+        self.degraded_solves = 0  # reprolint: guarded-by(_lock)
         #: coalescing bookkeeping
         self.batches = 0  # reprolint: guarded-by(_lock)
         #: jobs served across all batches
@@ -102,8 +114,57 @@ class ServiceMetrics:
                 self.jobs_cancelled += 1
             elif status == "timeout":
                 self.jobs_timeout += 1
+            elif status == "shed":
+                self.jobs_shed += 1
             if latency_s is not None:
                 self._latencies.append(float(latency_s))
+
+    def record_rejected_submit(self, n: int = 1) -> None:
+        """Count a submission refused by admission control (queue saturated)."""
+        with self._lock:
+            self.submits_rejected += n
+
+    def record_retry(self, n: int = 1) -> None:
+        """Count a failed batch attempt that will be retried after backoff."""
+        with self._lock:
+            self.retries += n
+
+    def record_breaker_open(self, n: int = 1) -> None:
+        """Count one circuit-breaker trip (a fingerprint going open)."""
+        with self._lock:
+            self.breaker_open += n
+
+    def record_pool_rebuilds(self, n: int) -> None:
+        """Fold in an engine's supervised pool-rebuild delta for one batch."""
+        if n:
+            with self._lock:
+                self.pool_rebuilds += n
+
+    def record_degraded_solves(self, n: int) -> None:
+        """Fold in columns an engine served inline because its pool was dead."""
+        if n:
+            with self._lock:
+                self.degraded_solves += n
+
+    def recent_p50_s(self) -> float | None:
+        """Median end-to-end latency over the recent window (Retry-After hint)."""
+        with self._lock:
+            if not self._latencies:
+                return None
+            values = list(self._latencies)
+        return float(np.percentile(np.asarray(values, dtype=float), 50.0))
+
+    def fault_counters(self) -> dict:
+        """The resilience counters alone (the ``/healthz`` failure summary)."""
+        with self._lock:
+            return {
+                "retries": self.retries,
+                "shed": self.jobs_shed + self.submits_rejected,
+                "submits_rejected": self.submits_rejected,
+                "breaker_open": self.breaker_open,
+                "pool_rebuilds": self.pool_rebuilds,
+                "degraded_solves": self.degraded_solves,
+            }
 
     def record_batch(
         self,
@@ -153,6 +214,7 @@ class ServiceMetrics:
                     "failed": self.jobs_failed,
                     "cancelled": self.jobs_cancelled,
                     "timeout": self.jobs_timeout,
+                    "shed": self.jobs_shed,
                     "replayed": self.jobs_replayed,
                     "running": n_running,
                     "pending": (
@@ -161,8 +223,17 @@ class ServiceMetrics:
                         - self.jobs_failed
                         - self.jobs_cancelled
                         - self.jobs_timeout
+                        - self.jobs_shed
                         - n_running
                     ),
+                },
+                "faults": {
+                    "retries": self.retries,
+                    "shed": self.jobs_shed + self.submits_rejected,
+                    "submits_rejected": self.submits_rejected,
+                    "breaker_open": self.breaker_open,
+                    "pool_rebuilds": self.pool_rebuilds,
+                    "degraded_solves": self.degraded_solves,
                 },
                 "coalescing": {
                     "batches": self.batches,

@@ -47,6 +47,7 @@ from pathlib import Path
 
 import numpy as np
 
+from ..faults import fault_hook
 from ..substrate.factor_cache import FactorArtifactStore
 from ..substrate.tiled import set_default_scratch_dir, tiled_scratch_dir
 from .jobs import JobRequest
@@ -104,6 +105,7 @@ class SqliteResultBackend:
     # ------------------------------------------------------------------ access
     def save(self, fingerprint: tuple, column: int, values: np.ndarray) -> None:
         """Persist one solved column (idempotent upsert)."""
+        fault_hook("sqlite.write", op="save")
         data = np.ascontiguousarray(values, dtype=np.float64).tobytes()
         with self._lock:
             self._conn.execute(
@@ -178,7 +180,7 @@ class JobJournal:
     Two event shapes::
 
         {"event": "accept", "job_id": ..., "priority": ..., "request": <b64 pickle>}
-        {"event": "terminal", "job_id": ..., "status": ...}
+        {"event": "terminal", "job_id": ..., "status": ..., "attempts": ...}
 
     Accept events are flushed *and* fsync'd before :meth:`record_accept`
     returns — the scheduler only acknowledges a submit after the request is
@@ -220,9 +222,16 @@ class JobJournal:
             os.fsync(self._fh.fileno())
             self.accepts += 1
 
-    def record_terminal(self, job_id: str, status: str) -> None:
+    def record_terminal(self, job_id: str, status: str, attempts: int = 0) -> None:
         """Mark one journaled job finished (flush-only; replay is idempotent)."""
-        line = json.dumps({"event": "terminal", "job_id": job_id, "status": status})
+        line = json.dumps(
+            {
+                "event": "terminal",
+                "job_id": job_id,
+                "status": status,
+                "attempts": int(attempts),
+            }
+        )
         with self._lock:
             self._fh.write(line + "\n")
             self._fh.flush()

@@ -85,6 +85,8 @@ class ResultStore:
         self.evictions = 0  # reprolint: guarded-by(_lock)
         self.disk_hits = 0  # reprolint: guarded-by(_lock)
         self.disk_misses = 0  # reprolint: guarded-by(_lock)
+        #: backend save/load calls that raised (degraded to RAM-only service)
+        self.backend_errors = 0  # reprolint: guarded-by(_lock)
 
     @property
     def backend(self):
@@ -113,7 +115,11 @@ class ResultStore:
                 return value
             backend = self._backend
         if backend is not None:
-            loaded = backend.load(fingerprint, column)
+            try:
+                loaded = backend.load(fingerprint, column)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't fail the batch
+                self._note_backend_error("load", exc)
+                loaded = None
             if loaded is not None:
                 with self._lock:
                     self.disk_hits += 1
@@ -166,8 +172,27 @@ class ResultStore:
             self._admit_locked(key, values)
             backend = self._backend
         if backend is not None:
-            backend.save(fingerprint, column, values)
+            try:
+                backend.save(fingerprint, column, values)
+            except Exception as exc:  # noqa: BLE001 - degrade, don't fail the batch
+                self._note_backend_error("save", exc)
         return values
+
+    def _note_backend_error(self, op: str, exc: Exception) -> None:
+        """Count + warn on a failed backend call; the RAM LRU keeps serving.
+
+        A sick disk must degrade durability, not availability: the column is
+        still served (and stored in RAM), only the write-through/read-through
+        is lost until the backend recovers.
+        """
+        with self._lock:
+            self.backend_errors += 1
+        warnings.warn(
+            f"result-store backend {op} failed ({type(exc).__name__}: {exc}); "
+            "continuing without persistence for this column",
+            RuntimeWarning,
+            stacklevel=3,
+        )
 
     def contains(self, fingerprint: tuple, column: int) -> bool:
         """Pure membership probe — no counters, no recency update."""
@@ -227,6 +252,7 @@ class ResultStore:
                 "evictions": self.evictions,
                 "disk_hits": self.disk_hits,
                 "disk_misses": self.disk_misses,
+                "backend_errors": self.backend_errors,
             }
             backend = self._backend
         if backend is not None:

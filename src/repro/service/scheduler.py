@@ -43,13 +43,17 @@ new solves.
 from __future__ import annotations
 
 import os
+import random
 import threading
 import time
+import traceback
 from collections import OrderedDict, deque
+from dataclasses import dataclass
 from typing import Iterable
 
 import numpy as np
 
+from ..faults import fault_hook
 from ..substrate.extraction import extract_columns
 from ..substrate.factor_cache import factor_cache
 from ..substrate.parallel import ParallelExtractor, SolverSpec
@@ -59,11 +63,117 @@ from .metrics import ServiceMetrics
 from .persistence import ServicePersistence
 from .result_store import ResultStore
 
-__all__ = ["Scheduler", "ExtractorPool", "ITERATION_HISTORY"]
+__all__ = [
+    "Scheduler",
+    "ExtractorPool",
+    "RetryPolicy",
+    "CircuitBreaker",
+    "QueueSaturatedError",
+    "ITERATION_HISTORY",
+]
 
 #: per-solve iteration entries kept on long-lived stats objects (the
 #: aggregate totals are never trimmed, so ``mean_iterations`` stays exact)
 ITERATION_HISTORY = 4096
+
+#: characters of formatted traceback kept on a failed job (the tail carries
+#: the raising frame; unbounded tracebacks would bloat snapshots/journals)
+TRACEBACK_LIMIT = 2000
+
+
+def _truncated_traceback(limit: int = TRACEBACK_LIMIT) -> str:
+    """The current exception's formatted traceback, tail-truncated."""
+    text = traceback.format_exc().strip()
+    if len(text) > limit:
+        text = "... (truncated)\n" + text[-limit:]
+    return text
+
+
+class QueueSaturatedError(RuntimeError):
+    """Admission control refused a submission (queue full, priority too low).
+
+    Carries ``retry_after_s`` — the server's backoff hint, surfaced over
+    HTTP as a 429 response with a ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = float(retry_after_s)
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter for failed coalesced batches.
+
+    Attempt ``i`` (1-based) failing sleeps ``min(cap_s, base_delay_s *
+    2**(i-1))`` scaled by a uniform jitter in ``[1, 1+jitter]`` before the
+    next attempt; after ``max_attempts`` failures the group fails for real.
+    ``max_attempts=1`` disables retrying.
+    """
+
+    max_attempts: int = 3
+    base_delay_s: float = 0.05
+    cap_s: float = 2.0
+    jitter: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_delay_s < 0 or self.cap_s < 0 or self.jitter < 0:
+            raise ValueError("delays and jitter must be non-negative")
+
+    def delay_s(self, attempt: int) -> float:
+        """Backoff before retrying after the ``attempt``-th failure (1-based)."""
+        base = min(self.cap_s, self.base_delay_s * (2 ** max(attempt - 1, 0)))
+        return base * (1.0 + self.jitter * random.random())
+
+
+class CircuitBreaker:
+    """Per-fingerprint failure latch: open after repeated failures, probe later.
+
+    Classic three-state breaker: **closed** (normal) counts consecutive
+    failures and opens at ``failure_threshold``; **open** rejects the
+    fingerprint's groups instantly — one poisoned substrate must not burn
+    retry budget and queue time every cycle — until ``reset_s`` has passed;
+    then one **half-open** probe group is let through, and its outcome
+    closes or re-opens the breaker.  Not thread-safe on its own; the
+    scheduler mutates breakers from the dispatcher thread only.
+    """
+
+    def __init__(self, failure_threshold: int = 3, reset_s: float = 30.0) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        self.failure_threshold = int(failure_threshold)
+        self.reset_s = float(reset_s)
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at: float | None = None
+
+    def allow(self, now: float | None = None) -> bool:
+        """May a batch for this fingerprint run now? (may move open->half-open)"""
+        if self.state == "closed":
+            return True
+        now = time.monotonic() if now is None else now
+        if self.state == "open" and now - self.opened_at >= self.reset_s:
+            self.state = "half_open"
+        return self.state == "half_open"
+
+    def record_failure(self, now: float | None = None) -> bool:
+        """Count one failed attempt; True when the breaker just tripped open."""
+        self.consecutive_failures += 1
+        tripped = self.state != "open" and (
+            self.state == "half_open"
+            or self.consecutive_failures >= self.failure_threshold
+        )
+        if tripped:
+            self.state = "open"
+            self.opened_at = time.monotonic() if now is None else now
+        return tripped
+
+    def record_success(self) -> None:
+        self.state = "closed"
+        self.consecutive_failures = 0
+        self.opened_at = None
 
 
 def _stats_snapshot(stats: SolveStats) -> tuple:
@@ -131,6 +241,7 @@ class ExtractorPool:
             if engine is not None:
                 self._engines.move_to_end(fingerprint)
                 return engine
+        fault_hook("factor.build", kind=spec.kind)
         built = ParallelExtractor(
             spec,
             n_workers=self.n_workers,
@@ -210,6 +321,20 @@ class Scheduler:
         :class:`~repro.service.persistence.ServicePersistence`, a state-dir
         path (one is built and owned by the scheduler), or ``None`` for the
         previous purely in-memory behaviour.
+    retry_policy:
+        Backoff schedule for failed coalesced batches (:class:`RetryPolicy`;
+        ``None`` fails a group on its first exception, the pre-retry
+        behaviour).
+    max_queue_depth:
+        Admission-control bound on the pending queue.  When full, a new
+        submission either displaces the lowest-priority queued job (when it
+        outranks one — that job ends in the terminal ``"shed"`` state) or is
+        refused with :class:`QueueSaturatedError` (HTTP 429).  ``None``
+        (default) keeps the queue unbounded.
+    breaker_failure_threshold / breaker_reset_s:
+        Per-fingerprint :class:`CircuitBreaker` tuning: consecutive failed
+        *attempts* before the fingerprint's groups are rejected instantly,
+        and how long the breaker stays open before a half-open probe.
     """
 
     def __init__(
@@ -224,6 +349,10 @@ class Scheduler:
         max_jobs_retained: int = 10_000,
         max_result_bytes_retained: int = 256 * 1024 * 1024,
         persistence: "ServicePersistence | str | os.PathLike | None" = None,
+        retry_policy: RetryPolicy | None = RetryPolicy(),
+        max_queue_depth: int | None = None,
+        breaker_failure_threshold: int = 3,
+        breaker_reset_s: float = 30.0,
     ) -> None:
         self._owns_persistence = persistence is not None and not isinstance(
             persistence, ServicePersistence
@@ -242,6 +371,16 @@ class Scheduler:
         self.coalesce_window_s = float(coalesce_window_s)
         self.max_jobs_retained = int(max_jobs_retained)
         self.max_result_bytes_retained = int(max_result_bytes_retained)
+        if retry_policy is None:
+            retry_policy = RetryPolicy(max_attempts=1)
+        self.retry_policy = retry_policy
+        if max_queue_depth is not None and max_queue_depth < 1:
+            raise ValueError("max_queue_depth must be at least 1 when given")
+        self.max_queue_depth = max_queue_depth
+        self._breaker_failure_threshold = int(breaker_failure_threshold)
+        self._breaker_reset_s = float(breaker_reset_s)
+        #: per-fingerprint failure latches, touched by the dispatcher only
+        self._breakers: dict[tuple, CircuitBreaker] = {}
         self._jobs: dict[str, Job] = {}  # reprolint: guarded-by(_cv)
         self._pending: list[str] = []  # reprolint: guarded-by(_cv)
         self._terminal: "deque[str]" = deque()  # reprolint: guarded-by(_cv)
@@ -307,11 +446,26 @@ class Scheduler:
         """
         if not isinstance(request, JobRequest):
             raise TypeError("submit() takes a JobRequest")
+        rejected = None
         with self._cv:
             if self._closing:
                 raise RuntimeError("scheduler is closed")
-            self._seq += 1
-            job_id = f"job-{self._seq:06d}"
+            if (
+                self.max_queue_depth is not None
+                and len(self._pending) >= self.max_queue_depth
+            ):
+                rejected = not self._shed_for_locked(int(request.priority))
+            if not rejected:
+                self._seq += 1
+                job_id = f"job-{self._seq:06d}"
+        if rejected:
+            self.metrics.record_rejected_submit()
+            retry_after = self.metrics.recent_p50_s() or 1.0
+            raise QueueSaturatedError(
+                f"queue saturated ({self.max_queue_depth} pending); "
+                f"priority {request.priority} does not outrank any queued job",
+                retry_after_s=retry_after,
+            )
         journal = self.persistence.journal if self.persistence is not None else None
         if journal is not None:
             journal.record_accept(job_id, request)
@@ -336,6 +490,31 @@ class Scheduler:
             self._cv.notify_all()
         self.metrics.record_submit()
         return job_id
+
+    # reprolint: holds(_cv)
+    def _shed_for_locked(self, priority: int) -> bool:
+        """Displace the weakest queued job for an incoming one (caller holds ``_cv``).
+
+        Returns True when a pending job with priority strictly below
+        ``priority`` was shed (terminal ``"shed"`` state, journaled), False
+        when the queue holds nothing the newcomer outranks — the caller
+        must then refuse the submission instead.
+        """
+        victim = None
+        for job_id in reversed(self._pending):
+            job = self._jobs[job_id]
+            if job.status != JobState.PENDING:
+                continue
+            if victim is None or job.priority < victim.priority:
+                victim = job
+        if victim is None or victim.priority >= priority:
+            return False
+        self._pending.remove(victim.job_id)
+        victim.error = (
+            f"shed from a saturated queue by a priority-{priority} submission"
+        )
+        self._finalize_locked(victim, JobState.SHED)
+        return True
 
     def cancel(self, job_id: str) -> bool:
         """Cancel a job that has not started; True when it was cancelled."""
@@ -431,6 +610,12 @@ class Scheduler:
             "ok": dispatcher_alive and not closing,
             "dispatcher_alive": dispatcher_alive,
             "closing": closing,
+            # degraded-but-alive detail: open breakers and the resilience
+            # counters do not flip ok — the service still makes progress
+            "open_breakers": sum(
+                1 for b in self._breakers.values() if b.state != "closed"
+            ),
+            "faults": self.metrics.fault_counters(),
         }
         if self.persistence is not None:
             writable = self.persistence.writable()
@@ -512,6 +697,10 @@ class Scheduler:
         calls this in a loop; tests with ``autostart=False`` call it by hand
         to make coalescing deterministic.
         """
+        if fault_hook("dispatch.cycle"):
+            # an injected dropped cycle: queued jobs stay queued and are
+            # picked up by the next drain, exactly like a stalled dispatcher
+            return 0
         with self._drain_lock:
             with self._cv:
                 pending, self._pending = self._pending, []
@@ -543,8 +732,24 @@ class Scheduler:
             return served
 
     # ------------------------------------------------------------------ batch
+    def _breaker_for(self, fingerprint: tuple) -> CircuitBreaker:
+        breaker = self._breakers.get(fingerprint)
+        if breaker is None:
+            breaker = self._breakers[fingerprint] = CircuitBreaker(
+                failure_threshold=self._breaker_failure_threshold,
+                reset_s=self._breaker_reset_s,
+            )
+        return breaker
+
     def _run_batch(self, fingerprint: tuple, jobs: list[Job]) -> None:
-        """Solve one coalesced group and assemble every member's result."""
+        """Solve one coalesced group, retrying failed attempts with backoff.
+
+        Each attempt re-consults the result store first, so columns that
+        landed before a mid-batch failure are never re-solved (and never
+        re-attributed).  A fingerprint whose attempts keep failing trips its
+        :class:`CircuitBreaker`; while the breaker is open the group fails
+        instantly instead of burning retry budget every cycle.
+        """
         now = time.monotonic()
         with self._cv:
             # re-check under the lock: a job popped by this cycle may have
@@ -557,45 +762,106 @@ class Scheduler:
                 self._running += 1
         if not jobs:
             return
-        try:
-            union: set[int] = set()
-            for job in jobs:
-                union.update(job.request.needed_columns())
-            needed = tuple(sorted(union))
-            columns = self.store.get_many(fingerprint, needed)
-            to_solve = tuple(c for c in needed if c not in columns)
-            stats_delta = None
-            if to_solve:
-                engine = self.pool.get(fingerprint, jobs[0].request.effective_spec)
-                counting = CountingSolver(engine)
-                snap = _stats_snapshot(engine.stats)
-                block = extract_columns(counting, np.asarray(to_solve, dtype=int))
-                stats_delta = _stats_delta(engine.stats, snap)
-                # a warm engine lives for the whole service: bound its
-                # per-solve iteration history (the aggregate counters, which
-                # mean_iterations and dispatch feed on, are unaffected)
-                del engine.stats.iterations_per_solve[:-ITERATION_HISTORY]
-                with self._cv:
-                    self.attributed_solves += counting.solve_count
-                for idx, column in enumerate(to_solve):
-                    columns[column] = self.store.put(
-                        fingerprint, column, block[:, idx]
-                    )
-            self.metrics.record_batch(
-                n_jobs=len(jobs),
-                n_columns_requested=len(needed),
-                n_columns_solved=len(to_solve),
-                n_columns_from_store=len(needed) - len(to_solve),
-                stats_delta=stats_delta,
+        breaker = self._breaker_for(fingerprint)
+        if not breaker.allow():
+            message = (
+                "circuit breaker open for this substrate "
+                f"(probe allowed after {breaker.reset_s:g}s)"
             )
-            for job in jobs:
-                self._assemble(job, columns)
-        except Exception as exc:  # noqa: BLE001 - a batch must never kill the loop
             with self._cv:
                 for job in jobs:
                     if job.status not in JobState.TERMINAL:
-                        job.error = f"{type(exc).__name__}: {exc}"
+                        job.error = message
                         self._finalize_locked(job, JobState.FAILED)
+            return
+        policy = self.retry_policy
+        for attempt in range(1, policy.max_attempts + 1):
+            with self._cv:
+                for job in jobs:
+                    if job.status not in JobState.TERMINAL:
+                        job.attempts = attempt
+            try:
+                self._solve_group(fingerprint, jobs)
+            except Exception as exc:  # noqa: BLE001 - a batch must never kill the loop
+                error = f"{type(exc).__name__}: {exc}"
+                tb = _truncated_traceback()
+                with self._cv:
+                    jobs = [j for j in jobs if j.status not in JobState.TERMINAL]
+                    for job in jobs:
+                        job.history.append(
+                            {"attempt": attempt, "error": error, "traceback": tb}
+                        )
+                if not jobs:
+                    return
+                if breaker.record_failure():
+                    self.metrics.record_breaker_open()
+                    exhausted = True  # an open breaker ends the retry loop too
+                else:
+                    exhausted = attempt >= policy.max_attempts
+                if exhausted:
+                    with self._cv:
+                        for job in jobs:
+                            if job.status not in JobState.TERMINAL:
+                                job.error = error
+                                job.error_traceback = tb
+                                self._finalize_locked(job, JobState.FAILED)
+                    return
+                self.metrics.record_retry()
+                time.sleep(policy.delay_s(attempt))
+            else:
+                breaker.record_success()
+                return
+
+    def _solve_group(self, fingerprint: tuple, jobs: list[Job]) -> None:
+        """One solve attempt for a coalesced group (store → solve → assemble).
+
+        Attribution stays exact under retries: the fresh
+        :class:`CountingSolver` built here is only read after the solve
+        succeeds, and every attempt starts from the store — previously
+        landed columns cost zero new solves.
+        """
+        union: set[int] = set()
+        for job in jobs:
+            union.update(job.request.needed_columns())
+        needed = tuple(sorted(union))
+        columns = self.store.get_many(fingerprint, needed)
+        to_solve = tuple(c for c in needed if c not in columns)
+        stats_delta = None
+        if to_solve:
+            engine = self.pool.get(fingerprint, jobs[0].request.effective_spec)
+            counting = CountingSolver(engine)
+            snap = _stats_snapshot(engine.stats)
+            rebuilds_before = engine.pool_rebuilds
+            degraded_before = engine.degraded_solves
+            try:
+                block = extract_columns(counting, np.asarray(to_solve, dtype=int))
+            finally:
+                # supervised-recovery counters move even when the attempt
+                # ultimately fails — a rebuild that happened, happened
+                self.metrics.record_pool_rebuilds(
+                    engine.pool_rebuilds - rebuilds_before
+                )
+                self.metrics.record_degraded_solves(
+                    engine.degraded_solves - degraded_before
+                )
+            stats_delta = _stats_delta(engine.stats, snap)
+            # a warm engine lives for the whole service: bound its
+            # per-solve iteration history (the aggregate counters, which
+            # mean_iterations and dispatch feed on, are unaffected)
+            del engine.stats.iterations_per_solve[:-ITERATION_HISTORY]
+            with self._cv:
+                self.attributed_solves += counting.solve_count
+            for idx, column in enumerate(to_solve):
+                columns[column] = self.store.put(fingerprint, column, block[:, idx])
+        self.metrics.record_batch(
+            n_jobs=len(jobs),
+            n_columns_requested=len(needed),
+            n_columns_solved=len(to_solve),
+            n_columns_from_store=len(needed) - len(to_solve),
+            stats_delta=stats_delta,
+        )
+        for job in jobs:
+            self._assemble(job, columns)
 
     def _assemble(self, job: Job, columns: dict[int, np.ndarray]) -> None:
         """Build one job's result views from the batch's solved columns.
@@ -646,7 +912,9 @@ class Scheduler:
         job.done_event.set()
         self.metrics.record_outcome(status, latency_s=job.latency_s)
         if journal and self.persistence is not None:
-            self.persistence.journal.record_terminal(job.job_id, status)
+            self.persistence.journal.record_terminal(
+                job.job_id, status, attempts=job.attempts
+            )
         self._terminal.append(job.job_id)
         self._retained_bytes += self._result_nbytes(job)
         while self._terminal and (

@@ -23,6 +23,11 @@ GET       /healthz   liveness probe: ``{"ok", "dispatcher_alive",
 
 ``/result`` answers 404 for a job id the service has never seen and 410
 (gone) for one that existed but was dropped by finished-job retention.
+``/submit`` answers 429 with a ``Retry-After`` header when admission
+control refuses the request (queue saturated and the submission outranks
+nothing queued); :meth:`ServiceClient.submit` re-raises that as
+:class:`~repro.service.scheduler.QueueSaturatedError` so callers can back
+off programmatically.
 
 Job requests travel as pickled :class:`~repro.service.jobs.JobRequest`
 payloads (base64 inside JSON) because they embed full layout/profile
@@ -38,6 +43,7 @@ import argparse
 import base64
 import ipaddress
 import json
+import os
 import pickle
 import threading
 import time
@@ -47,7 +53,7 @@ from urllib.parse import parse_qs, urlparse
 from urllib.request import Request, urlopen
 
 from .jobs import JobExpiredError, JobRequest, JobState
-from .scheduler import Scheduler
+from .scheduler import QueueSaturatedError, Scheduler
 
 __all__ = ["ExtractionServer", "ServiceClient", "main"]
 
@@ -77,11 +83,15 @@ def _make_handler(scheduler: Scheduler):
         def log_message(self, format: str, *args) -> None:  # noqa: A002
             pass  # request logging is the metrics layer's job, not stderr's
 
-        def _send_json(self, payload: dict, status: int = 200) -> None:
+        def _send_json(
+            self, payload: dict, status: int = 200, headers: dict | None = None
+        ) -> None:
             body = json.dumps(payload).encode()
             self.send_response(status)
             self.send_header("Content-Type", "application/json")
             self.send_header("Content-Length", str(len(body)))
+            for name, value in (headers or {}).items():
+                self.send_header(name, value)
             self.end_headers()
             self.wfile.write(body)
 
@@ -128,6 +138,16 @@ def _make_handler(scheduler: Scheduler):
                 return
             try:
                 job_id = scheduler.submit(request)
+            except QueueSaturatedError as exc:
+                # load shedding: tell the client when to come back; a whole
+                # number of seconds because Retry-After is delta-seconds
+                retry_after = max(1, round(exc.retry_after_s))
+                self._send_json(
+                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
+                    status=429,
+                    headers={"Retry-After": str(retry_after)},
+                )
+                return
             except Exception as exc:  # noqa: BLE001 - e.g. scheduler closed
                 self._send_error_json(503, str(exc))
                 return
@@ -274,9 +294,30 @@ class ServiceClient:
 
     # ------------------------------------------------------------------- api
     def submit(self, request: JobRequest) -> str:
-        """Ship one request; returns the server's job id."""
+        """Ship one request; returns the server's job id.
+
+        A 429 (admission control shed the submission) is re-raised as
+        :class:`~repro.service.scheduler.QueueSaturatedError` carrying the
+        server's ``Retry-After`` hint in ``retry_after_s``.
+        """
         blob = base64.b64encode(pickle.dumps(request)).decode()
-        return self._post("/submit", {"request_pickle": blob})["job_id"]
+        try:
+            return self._post("/submit", {"request_pickle": blob})["job_id"]
+        except HTTPError as exc:
+            if exc.code == 429:
+                retry_after = 1.0
+                try:
+                    doc = json.loads(exc.read())
+                    retry_after = float(
+                        doc.get("retry_after_s")
+                        or exc.headers.get("Retry-After")
+                        or 1.0
+                    )
+                    message = doc.get("error") or "queue saturated"
+                except Exception:  # noqa: BLE001 - body is best-effort detail
+                    message = "queue saturated"
+                raise QueueSaturatedError(message, retry_after_s=retry_after) from exc
+            raise
 
     def result(self, job_id: str, wait_s: float = 0.0) -> dict:
         """One job snapshot, optionally long-polling up to ``wait_s``.
@@ -373,6 +414,25 @@ def main(argv: list[str] | None = None) -> None:
         ),
     )
     parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help=(
+            "admission-control bound on the pending queue; when full, new "
+            "submissions shed the lowest-priority queued job or get HTTP 429 "
+            "(omit for an unbounded queue)"
+        ),
+    )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        help=(
+            "fault-injection plan: JSON text or @path to a JSON file "
+            "(exported as REPRO_FAULTS so worker processes inherit it); "
+            "chaos testing only"
+        ),
+    )
+    parser.add_argument(
         "--unsafe-allow-remote-pickle",
         action="store_true",
         help=(
@@ -385,6 +445,14 @@ def main(argv: list[str] | None = None) -> None:
 
     from .result_store import ResultStore
 
+    if args.faults:
+        from .. import faults
+
+        # export via the environment so worker processes inherit the plan,
+        # then parse eagerly — a typo'd plan fails the CLI, not a worker
+        os.environ[faults.ENV_VAR] = args.faults
+        faults.reload_env_plan()
+
     store = ResultStore(args.store_bytes) if args.store_bytes is not None else None
     server = ExtractionServer(
         host=args.host,
@@ -395,6 +463,7 @@ def main(argv: list[str] | None = None) -> None:
         store=store,
         coalesce_window_s=args.coalesce_window,
         persistence=args.state_dir,
+        max_queue_depth=args.max_queue_depth,
     )
     print(f"extraction service listening on {server.url} (Ctrl-C to stop)")
     try:

@@ -672,6 +672,12 @@ def attach_shared_factor(
     """
     from multiprocessing import shared_memory
 
+    from ..faults import fault_hook
+
+    # chaos hook: a fault plan can simulate a torn/corrupt segment here;
+    # every caller treats attach as an optimisation and falls back to its
+    # own factorisation, which is exactly the path this fault exercises
+    fault_hook("shm.attach", key=str(handle.key[0]) if handle.key else None)
     shm = shared_memory.SharedMemory(name=handle.segment_name)
     if unregister:
         try:

@@ -48,19 +48,44 @@ from __future__ import annotations
 
 import hashlib
 import os
-from concurrent.futures import ProcessPoolExecutor
+import warnings
+from concurrent.futures import BrokenExecutor, ProcessPoolExecutor
 from dataclasses import dataclass, field
+from threading import BrokenBarrierError
 from typing import Any
 
 import multiprocessing as mp
 import numpy as np
 
+from ..faults import fault_hook
 from ..geometry.contact import ContactLayout
 from .factor_cache import FactorPlane, attach_shared_factor, factor_cache
 from .profile import SubstrateProfile
 from .solver_base import SolveStats, SubstrateSolver
 
-__all__ = ["SolverSpec", "ParallelExtractor", "solve_in_subprocess"]
+__all__ = [
+    "SolverSpec",
+    "ParallelExtractor",
+    "PoolWarmupError",
+    "solve_in_subprocess",
+]
+
+#: exception types that mean "the worker pool is broken, not the physics":
+#: a worker process died (BrokenProcessPool is a BrokenExecutor subclass) or
+#: the warm-up barrier was broken by a sibling's death/timeout.  These are
+#: the supervised extractor's rebuild triggers — anything else propagates.
+POOL_FAILURE_ERRORS = (BrokenExecutor, BrokenBarrierError, OSError, EOFError)
+
+
+class PoolWarmupError(RuntimeError):
+    """The worker pool failed to come up (worker death / broken barrier).
+
+    Raised by :meth:`ParallelExtractor.warm_up` instead of leaking a raw
+    ``BrokenProcessPool`` / ``BrokenBarrierError`` (or hanging the caller on
+    a barrier no dead worker will ever reach).  The pool has already been
+    shut down when this propagates; the extractor may be retried — a fresh
+    ``warm_up()`` builds a new pool.
+    """
 
 #: solver kinds a spec can describe
 SPEC_KINDS = ("bem", "fd", "dense")
@@ -279,6 +304,9 @@ def _solve_shard(
     the result travels through the named shared-memory block when one is
     given, otherwise it is pickled back.
     """
+    # chaos hook: an active fault plan can kill this worker (or delay/fail
+    # the shard) deterministically — see repro.faults
+    fault_hook("worker.solve", start=start, width=v_shard.shape[1])
     solver = _WORKER_SOLVER
     out, delta = _solve_with_stats_delta(solver, v_shard)
     # fold this worker's init-time factor provenance into its first delta
@@ -400,6 +428,7 @@ class ParallelExtractor(SubstrateSolver):
         start_method: str | None = None,
         share_factors: bool = True,
         prepare_tiled: bool = False,
+        max_pool_rebuilds: int = 2,
     ) -> None:
         self.spec = spec
         self.layout = spec.layout
@@ -423,6 +452,13 @@ class ParallelExtractor(SubstrateSolver):
         self._plane: FactorPlane | None = None
         #: factor-cache keys published to the plane (diagnostics / tests)
         self.published_factor_keys: list[tuple] = []
+        #: per-``solve_many`` pool-rebuild budget before degrading to an
+        #: inline serial solve on the parent's local solver
+        self.max_pool_rebuilds = int(max_pool_rebuilds)
+        #: times a broken pool was torn down and rebuilt mid-block
+        self.pool_rebuilds = 0
+        #: columns served inline because the pool could not be resurrected
+        self.degraded_solves = 0
 
     # ---------------------------------------------------------------- plumbing
     def _worker_overrides(self) -> dict[str, Any]:
@@ -543,6 +579,12 @@ class ParallelExtractor(SubstrateSolver):
         worker until all have arrived — so that every worker process has
         built (and, with ``prepare_direct``, factored) its solver before the
         first timed block arrives.
+
+        A worker that dies during initialisation breaks both the pool and
+        the barrier its siblings are waiting on; both surface here as a
+        :class:`PoolWarmupError` (after the pool has been shut down) rather
+        than a raw ``BrokenProcessPool`` / ``BrokenBarrierError`` — or, in
+        the worst pre-fix case, a caller parked on a 600 s barrier timeout.
         """
         if self.n_workers <= 1:
             local = self._local_solver()
@@ -556,15 +598,23 @@ class ParallelExtractor(SubstrateSolver):
                     prepare()
             return
         pool = self._ensure_pool()
-        with mp.Manager() as manager:
-            barrier = manager.Barrier(self.n_workers)
-            futures = [
-                pool.submit(_rendezvous, barrier) for _ in range(self.n_workers)
-            ]
-            for fut in futures:
-                attached, rebuilt = fut.result()
-                self.stats.record_factor_attach(attached)
-                self.stats.record_factor_rebuild(rebuilt)
+        try:
+            with mp.Manager() as manager:
+                barrier = manager.Barrier(self.n_workers)
+                futures = [
+                    pool.submit(_rendezvous, barrier) for _ in range(self.n_workers)
+                ]
+                for fut in futures:
+                    attached, rebuilt = fut.result()
+                    self.stats.record_factor_attach(attached)
+                    self.stats.record_factor_rebuild(rebuilt)
+        except POOL_FAILURE_ERRORS as exc:
+            # the pool is unusable (and would hang or fail every later
+            # submit); tear it down before telling the caller why
+            self.close()
+            raise PoolWarmupError(
+                f"worker pool failed during warm-up: {type(exc).__name__}: {exc}"
+            ) from exc
 
     def close(self) -> None:
         """Shut the worker pool down and unlink the factor plane (idempotent)."""
@@ -615,9 +665,13 @@ class ParallelExtractor(SubstrateSolver):
         if self.n_workers <= 1 or k < max(self.min_parallel_columns, 2):
             return self._solve_inline(v)
 
-        pool = self._ensure_pool()
         n_shards = min(self.n_workers, k)
         bounds = np.linspace(0, k, n_shards + 1, dtype=int)
+        shards = [
+            (int(lo), int(hi))
+            for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
+            if hi > lo
+        ]
         shm = None
         shm_name = None
         if self.use_shared_memory:
@@ -631,38 +685,107 @@ class ParallelExtractor(SubstrateSolver):
             except (OSError, ValueError):
                 shm = None
                 shm_name = None
+        out = np.empty_like(v)
+        gauges = np.full(k, np.nan)
+        any_gauges = False
         try:
-            futures = [
-                pool.submit(
-                    _solve_shard,
-                    np.ascontiguousarray(v[:, lo:hi]),
-                    int(lo),
-                    shm_name,
-                    v.shape,
-                )
-                for lo, hi in zip(bounds[:-1], bounds[1:], strict=True)
-                if hi > lo
-            ]
-            out = np.empty_like(v)
-            gauges = np.full(k, np.nan)
-            any_gauges = False
-            for fut in futures:
-                start, width, data, stats, shard_gauges = fut.result()
-                if data is not None:
-                    out[:, start : start + width] = data
-                self.stats.merge(stats)
-                if shard_gauges is not None:
-                    gauges[start : start + width] = shard_gauges
-                    any_gauges = True
-            if shm is not None:
-                block = np.ndarray(v.shape, dtype=np.float64, buffer=shm.buf)
-                out[:] = block
+            pending = shards
+            rebuilds_this_block = 0
+            while pending:
+                try:
+                    pool = self._ensure_pool()
+                    futures = [
+                        (
+                            pool.submit(
+                                _solve_shard,
+                                np.ascontiguousarray(v[:, lo:hi]),
+                                lo,
+                                shm_name,
+                                v.shape,
+                            ),
+                            (lo, hi),
+                        )
+                        for lo, hi in pending
+                    ]
+                except POOL_FAILURE_ERRORS as exc:
+                    self._note_pool_failure(exc)
+                    futures = []
+                failed: list[tuple[int, int]] = []
+                failure: BaseException | None = None
+                for fut, (lo, hi) in futures:
+                    try:
+                        start, width, data, stats, shard_gauges = fut.result()
+                    except POOL_FAILURE_ERRORS as exc:
+                        # a worker died: this future (and any sibling still
+                        # in flight) reports the broken pool, not physics —
+                        # remember the shard and re-solve it after a rebuild
+                        failed.append((lo, hi))
+                        failure = exc
+                        continue
+                    if data is not None:
+                        out[:, start : start + width] = data
+                    elif shm is not None:
+                        block = np.ndarray(v.shape, dtype=np.float64, buffer=shm.buf)
+                        out[:, start : start + width] = block[:, start : start + width]
+                    self.stats.merge(stats)
+                    if shard_gauges is not None:
+                        gauges[start : start + width] = shard_gauges
+                        any_gauges = True
+                if not futures:
+                    failed = list(pending)
+                if not failed:
+                    break
+                pending = sorted(failed)
+                rebuilds_this_block += 1
+                if rebuilds_this_block > self.max_pool_rebuilds:
+                    # the pool cannot be resurrected within budget: finish
+                    # the block inline on the parent's serial solver rather
+                    # than failing work that is still perfectly solvable
+                    n_degraded = sum(hi - lo for lo, hi in pending)
+                    warnings.warn(
+                        f"worker pool broken {rebuilds_this_block - 1} times; "
+                        f"degrading {n_degraded} remaining columns to an "
+                        "inline serial solve",
+                        RuntimeWarning,
+                        stacklevel=2,
+                    )
+                    self.close()
+                    for lo, hi in pending:
+                        inline = self._solve_inline(np.ascontiguousarray(v[:, lo:hi]))
+                        out[:, lo:hi] = inline
+                        if self.last_gauge_constants is not None:
+                            gauges[lo:hi] = self.last_gauge_constants
+                            any_gauges = True
+                    self.degraded_solves += n_degraded
+                    break
+                if failure is not None:
+                    self._note_pool_failure(failure)
+                self.pool_rebuilds += 1
+                self._rebuild_pool()
         finally:
             if shm is not None:
                 shm.close()
                 shm.unlink()
         self.last_gauge_constants = gauges if any_gauges else None
         return out
+
+    def _note_pool_failure(self, exc: BaseException) -> None:
+        warnings.warn(
+            f"worker pool failure during solve_many: {type(exc).__name__}: {exc}; "
+            "tearing the pool down for rebuild",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+
+    def _rebuild_pool(self) -> None:
+        """Tear down the broken pool and let the next submit build a fresh one.
+
+        ``close()`` also unlinks the shared factor plane, so the rebuild
+        path re-publishes the parent's (still cached) factors through a new
+        plane before the replacement workers initialise — the supervised
+        restart pays attach cost, never a refactorisation.
+        """
+        self.close()
 
     def _solve_inline(self, v: np.ndarray) -> np.ndarray:
         solver = self._local_solver()

@@ -416,6 +416,7 @@ def test_metrics_report_pending_and_running_separately():
         "failed": 0,
         "cancelled": 0,
         "timeout": 0,
+        "shed": 0,
         "replayed": 0,
         "running": 1,
         "pending": 1,
