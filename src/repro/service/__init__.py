@@ -9,8 +9,17 @@ with published shared-memory factors, and a
 :class:`~repro.service.result_store.ResultStore` of solved ``G`` columns —
 and serves many small :class:`~repro.service.jobs.JobRequest` jobs against
 it, coalescing concurrent requests over the same substrate fingerprint into
-shared ``solve_many`` blocks.  :mod:`~repro.service.server` adds a stdlib
-HTTP/JSON front end plus a blocking client, and
+shared ``solve_many`` blocks.  The HTTP front door is **schema-first**:
+:mod:`~repro.service.wire` defines a declarative JSON wire protocol (layout,
+profile, options and arrays as plain data — no pickle on the wire, fingerprint-
+exact round trips), :mod:`~repro.service.aserver` serves it from one asyncio
+event loop under ``/v1/`` with chunked-NDJSON streaming (columns reach the
+client as their coalesced group's solve lands, before the job completes) and
+HTTP-layer micro-batching of small pair queries, and
+:mod:`~repro.service.client` is the blocking client with typed exceptions
+decoded from the single error envelope.  The legacy threaded server
+(:mod:`~repro.service.server`) serves the same ``/v1`` routes; its pickle-era
+``/submit`` survives only behind an explicit opt-in.
 :mod:`~repro.service.metrics` aggregates the operational counters behind the
 ``/stats`` endpoint.  :mod:`~repro.service.persistence` makes the amortised
 state durable: point the scheduler (or ``python -m repro.service
@@ -29,13 +38,15 @@ failure mode is reproducible on demand through :mod:`repro.faults`.
 
 Quickstart::
 
-    from repro.service import ExtractionServer, JobRequest, ServiceClient
+    from repro.service import AsyncExtractionServer, JobRequest, ServiceClient
     from repro.substrate.parallel import SolverSpec
 
-    with ExtractionServer() as server:           # scheduler + HTTP, ephemeral port
-        client = ServiceClient(server.url)
-        spec = SolverSpec.bem(layout, profile)
-        g_cols = client.extract(JobRequest(spec, columns=(0, 5, 9)))
+    with AsyncExtractionServer() as server:      # scheduler + HTTP, ephemeral port
+        with ServiceClient(server.url) as client:
+            spec = SolverSpec.bem(layout, profile)
+            g_cols = client.extract(JobRequest(spec, columns=(0, 5, 9)))
+            for event in client.stream(JobRequest(spec, columns=(0, 1))):
+                ...                              # columns arrive as groups land
 
 or in-process, without HTTP::
 
@@ -56,9 +67,25 @@ from .scheduler import (
     RetryPolicy,
     Scheduler,
 )
-from .server import ExtractionServer, ServiceClient
+from .aserver import AsyncExtractionServer
+from .client import ServiceClient
+from .jobs import SCHEMA_VERSION
+from .server import ExtractionServer
+from .wire import (
+    BadRequestError,
+    LegacyPickleDisabledError,
+    ServiceError,
+    ServiceUnavailableError,
+    UnknownJobError,
+    WireFormatError,
+    request_from_wire,
+    request_to_wire,
+    spec_from_wire,
+    spec_to_wire,
+)
 
 __all__ = [
+    "SCHEMA_VERSION",
     "Job",
     "JobExpiredError",
     "JobRequest",
@@ -74,5 +101,16 @@ __all__ = [
     "CircuitBreaker",
     "QueueSaturatedError",
     "ExtractionServer",
+    "AsyncExtractionServer",
     "ServiceClient",
+    "ServiceError",
+    "BadRequestError",
+    "UnknownJobError",
+    "ServiceUnavailableError",
+    "LegacyPickleDisabledError",
+    "WireFormatError",
+    "request_to_wire",
+    "request_from_wire",
+    "spec_to_wire",
+    "spec_from_wire",
 ]

@@ -1,6 +1,6 @@
 """``python -m repro.service`` — run the extraction service CLI."""
 
-from .server import main
+from .aserver import main
 
 if __name__ == "__main__":
     main()

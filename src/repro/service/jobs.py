@@ -24,7 +24,14 @@ import numpy as np
 
 from ..substrate.parallel import SolverSpec
 
-__all__ = ["JobRequest", "JobState", "Job", "JobExpiredError"]
+__all__ = ["JobRequest", "JobState", "Job", "JobExpiredError", "SCHEMA_VERSION"]
+
+#: version stamped into every wire document the service emits (job
+#: snapshots, ``/stats``, ``/v1`` bodies).  Bump on any field rename or
+#: semantic change; additive fields keep the version.  The snapshot field
+#: names themselves are documented in README ("Job snapshot schema") and
+#: are a compatibility contract from version 1 on.
+SCHEMA_VERSION = 1
 
 #: terminal and non-terminal states a job moves through
 JOB_STATES = ("pending", "running", "done", "failed", "cancelled", "timeout", "shed")
@@ -197,6 +204,7 @@ class Job:
         """
         terminal = self.status in JobState.TERMINAL
         return {
+            "schema_version": SCHEMA_VERSION,
             "job_id": self.job_id,
             "status": self.status,
             "priority": self.priority,

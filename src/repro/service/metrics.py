@@ -29,6 +29,7 @@ import numpy as np
 
 from ..substrate.factor_cache import factor_cache_info
 from ..substrate.solver_base import SolveStats
+from .jobs import SCHEMA_VERSION
 
 __all__ = ["ServiceMetrics", "latency_percentiles"]
 
@@ -88,6 +89,19 @@ class ServiceMetrics:
         self.columns_solved = 0  # reprolint: guarded-by(_lock)
         #: columns served by the ResultStore
         self.columns_from_store = 0  # reprolint: guarded-by(_lock)
+        #: front-door bookkeeping (the async ``/v1`` server)
+        #: NDJSON streaming responses opened
+        self.streams_opened = 0  # reprolint: guarded-by(_lock)
+        #: events written across all streams (submitted/columns/done/...)
+        self.stream_events = 0  # reprolint: guarded-by(_lock)
+        #: columns delivered through streams before their job completed
+        self.stream_columns = 0  # reprolint: guarded-by(_lock)
+        #: pair queries accepted by the HTTP micro-batcher
+        self.microbatch_queries = 0  # reprolint: guarded-by(_lock)
+        #: coalesced submits those queries collapsed into (<= queries)
+        self.microbatch_submits = 0  # reprolint: guarded-by(_lock)
+        #: deprecated pickle submissions served (0 unless the operator opted in)
+        self.legacy_pickle_submits = 0  # reprolint: guarded-by(_lock)
         #: merged solve statistics of everything the scheduler ran
         self.solve_stats = SolveStats()  # reprolint: guarded-by(_lock)
         # reprolint: guarded-by(_lock)
@@ -166,6 +180,29 @@ class ServiceMetrics:
                 "degraded_solves": self.degraded_solves,
             }
 
+    def record_stream_opened(self, n: int = 1) -> None:
+        """Count one NDJSON streaming response starting."""
+        with self._lock:
+            self.streams_opened += n
+
+    def record_stream_event(self, n_columns: int = 0) -> None:
+        """Count one streamed event (and the columns it delivered, if any)."""
+        with self._lock:
+            self.stream_events += 1
+            self.stream_columns += n_columns
+
+    def record_microbatch(self, n_queries: int, n_submits: int = 1) -> None:
+        """Account one micro-batch flush: ``n_queries`` collapsed into
+        ``n_submits`` scheduler submissions (the benchmark pins the ratio)."""
+        with self._lock:
+            self.microbatch_queries += n_queries
+            self.microbatch_submits += n_submits
+
+    def record_legacy_pickle_submit(self, n: int = 1) -> None:
+        """Count a submission served over the deprecated pickle wire."""
+        with self._lock:
+            self.legacy_pickle_submits += n
+
     def record_batch(
         self,
         n_jobs: int,
@@ -207,6 +244,7 @@ class ServiceMetrics:
         n_running = int(running or 0)
         with self._lock:
             doc: dict = {
+                "schema_version": SCHEMA_VERSION,
                 "uptime_s": time.monotonic() - self.started_at,
                 "jobs": {
                     "submitted": self.jobs_submitted,
@@ -242,6 +280,14 @@ class ServiceMetrics:
                     "columns_requested": self.columns_requested,
                     "columns_solved": self.columns_solved,
                     "columns_from_store": self.columns_from_store,
+                },
+                "frontdoor": {
+                    "streams_opened": self.streams_opened,
+                    "stream_events": self.stream_events,
+                    "stream_columns": self.stream_columns,
+                    "microbatch_queries": self.microbatch_queries,
+                    "microbatch_submits": self.microbatch_submits,
+                    "legacy_pickle_submits": self.legacy_pickle_submits,
                 },
                 "latency_s": latency_percentiles(self._latencies),
                 "solve_stats": self.solve_stats.as_dict(),

@@ -30,6 +30,19 @@ first), jobs may be cancelled while queued, and a queued job past its
 occupying the solver.  For deterministic tests construct with
 ``autostart=False`` and call :meth:`step` to run drain cycles by hand.
 
+**Streaming.**  A job may carry *watchers* — callbacks registered
+atomically at :meth:`submit` (``watcher=``) or later via :meth:`watch` —
+that observe the job's progress as it happens: a ``"columns"`` event fires
+from inside the solve as soon as the job's columns become available
+(result-store hits at the start of the batch, freshly solved columns the
+moment their coalesced group's solve lands — *before* the job is
+assembled and finalized), and a ``"terminal"`` event fires on the final
+state transition.  This is what the async front door's NDJSON streaming
+endpoint rides on: a streamed column reaches the client before its job
+completes.  Watchers run on the dispatcher thread and must be fast and
+non-blocking (hand the event to a queue); they must never call back into
+the scheduler.
+
 With a :class:`~repro.service.persistence.ServicePersistence` attached
 (``persistence=`` object or state-dir path) the scheduler becomes durable:
 the result store writes through to the sqlite corpus, the factor cache
@@ -382,6 +395,8 @@ class Scheduler:
         #: per-fingerprint failure latches, touched by the dispatcher only
         self._breakers: dict[tuple, CircuitBreaker] = {}
         self._jobs: dict[str, Job] = {}  # reprolint: guarded-by(_cv)
+        #: per-job progress callbacks (streaming); popped on terminal events
+        self._watchers: dict[str, list] = {}  # reprolint: guarded-by(_cv)
         self._pending: list[str] = []  # reprolint: guarded-by(_cv)
         self._terminal: "deque[str]" = deque()  # reprolint: guarded-by(_cv)
         self._retained_bytes = 0  # reprolint: guarded-by(_cv)
@@ -435,7 +450,7 @@ class Scheduler:
             self.metrics.record_replay()
 
     # ----------------------------------------------------------------- clients
-    def submit(self, request: JobRequest) -> str:
+    def submit(self, request: JobRequest, watcher=None) -> str:
         """Queue one request; returns the job id immediately.
 
         With persistence attached the request is journaled — flushed and
@@ -443,6 +458,10 @@ class Scheduler:
         survives any later crash.  The fsync runs outside the scheduler
         lock (disk latency must not stall the dispatcher); the id is
         reserved first, the job enqueued after the journal write lands.
+
+        ``watcher`` registers a progress callback atomically with the
+        enqueue (see the module docstring's streaming section) — unlike a
+        later :meth:`watch` call, it can never miss an event.
         """
         if not isinstance(request, JobRequest):
             raise TypeError("submit() takes a JobRequest")
@@ -487,9 +506,33 @@ class Scheduler:
             self._jobs[job_id] = job
             self._pending.append(job_id)
             self._known_ids.add(job_id)
+            if watcher is not None:
+                self._watchers.setdefault(job_id, []).append(watcher)
             self._cv.notify_all()
         self.metrics.record_submit()
         return job_id
+
+    def watch(self, job_id: str, watcher) -> bool:
+        """Attach a progress callback to a live job.
+
+        Returns ``False`` when the job is already terminal (no events will
+        ever fire — read :meth:`snapshot` instead); raises like
+        :meth:`result` for unknown/expired ids.  Events that fired before
+        registration are not replayed; submit with ``watcher=`` for a
+        gap-free stream.
+        """
+        with self._cv:
+            job = self._jobs.get(job_id)
+            if job is None:
+                if job_id in self._known_ids:
+                    raise JobExpiredError(
+                        f"job id {job_id!r} expired (dropped by retention)"
+                    )
+                raise KeyError(f"unknown job id {job_id!r}")
+            if job.status in JobState.TERMINAL:
+                return False
+            self._watchers.setdefault(job_id, []).append(watcher)
+            return True
 
     # reprolint: holds(_cv)
     def _shed_for_locked(self, priority: int) -> bool:
@@ -731,6 +774,45 @@ class Scheduler:
                 served += len(group)
             return served
 
+    # -------------------------------------------------------------- streaming
+    def _notify_columns(
+        self, jobs: list[Job], available: dict[int, np.ndarray], source: str
+    ) -> None:
+        """Fire one ``"columns"`` event per watched job that gained columns.
+
+        Called from the dispatcher mid-batch: once with the result-store
+        hits before any solving, once per solve landing — so a watcher sees
+        its job's columns as the coalesced group produces them, not when
+        the whole job is assembled.  Events are at-least-once (a retried
+        attempt re-announces store hits); consumers dedupe by column.
+        """
+        if not available:
+            return
+        with self._cv:
+            watched = [
+                (job, list(self._watchers.get(job.job_id, ())))
+                for job in jobs
+                if self._watchers.get(job.job_id)
+            ]
+        for job, watchers in watched:
+            cols = tuple(
+                c for c in job.request.needed_columns() if c in available
+            )
+            if not cols:
+                continue
+            event = {
+                "kind": "columns",
+                "job_id": job.job_id,
+                "columns": cols,
+                "arrays": {c: available[c] for c in cols},
+                "source": source,
+            }
+            for watcher in watchers:
+                try:
+                    watcher(event)
+                except Exception:  # noqa: BLE001 - a watcher must not kill a batch
+                    pass
+
     # ------------------------------------------------------------------ batch
     def _breaker_for(self, fingerprint: tuple) -> CircuitBreaker:
         breaker = self._breakers.get(fingerprint)
@@ -826,6 +908,9 @@ class Scheduler:
         needed = tuple(sorted(union))
         columns = self.store.get_many(fingerprint, needed)
         to_solve = tuple(c for c in needed if c not in columns)
+        # stream store hits immediately: a job whose columns someone already
+        # paid for sees them before this batch solves anything
+        self._notify_columns(jobs, columns, source="store")
         stats_delta = None
         if to_solve:
             engine = self.pool.get(fingerprint, jobs[0].request.effective_spec)
@@ -853,6 +938,11 @@ class Scheduler:
                 self.attributed_solves += counting.solve_count
             for idx, column in enumerate(to_solve):
                 columns[column] = self.store.put(fingerprint, column, block[:, idx])
+            # stream the freshly solved columns the moment the group's solve
+            # lands — before any job in the group is assembled or finalized
+            self._notify_columns(
+                jobs, {c: columns[c] for c in to_solve}, source="solve"
+            )
         self.metrics.record_batch(
             n_jobs=len(jobs),
             n_columns_requested=len(needed),
@@ -915,6 +1005,11 @@ class Scheduler:
             self.persistence.journal.record_terminal(
                 job.job_id, status, attempts=job.attempts
             )
+        for watcher in self._watchers.pop(job.job_id, ()):
+            try:
+                watcher({"kind": "terminal", "job_id": job.job_id, "status": status})
+            except Exception:  # noqa: BLE001 - a watcher must not kill finalize
+                pass
         self._terminal.append(job.job_id)
         self._retained_bytes += self._result_nbytes(job)
         while self._terminal and (

@@ -1,61 +1,70 @@
-"""Stdlib HTTP/JSON front end for the extraction service.
+"""Legacy threaded HTTP front end of the extraction service.
 
-A thin, dependency-free layer over the
-:class:`~repro.service.scheduler.Scheduler`: a
-:class:`http.server.ThreadingHTTPServer` exposing four endpoints, a blocking
-:class:`ServiceClient`, and a CLI (``python -m repro.service``).
+Superseded by the asyncio front door
+(:class:`~repro.service.aserver.AsyncExtractionServer`) but kept for
+deployments that need the pre-asyncio stack: a
+:class:`http.server.ThreadingHTTPServer` over one
+:class:`~repro.service.scheduler.Scheduler`.  It serves the same
+**schema-first** ``/v1`` routes as the async server (shared route logic in
+:mod:`~repro.service.wire`), so the redesigned
+:class:`~repro.service.client.ServiceClient` works against either:
 
-========  =========  ====================================================
-method    path       body / query
-========  =========  ====================================================
-POST      /submit    JSON ``{"request_pickle": <base64 pickle of a
-                     JobRequest>}`` → ``{"job_id", "status"}``
-GET       /result    ``?job_id=...&wait_s=...`` → job snapshot (status,
-                     solved columns as nested lists, pair values, error)
-GET       /stats     scheduler metrics snapshot (coalescing counters,
-                     latency percentiles, solve stats, store/factor-cache
-                     occupancy, queue depth)
-GET       /healthz   liveness probe: ``{"ok", "dispatcher_alive",
-                     "closing", "queue_depth", "uptime_s"}`` (+ state-dir
-                     writability when persistence is on); HTTP 503 when
-                     the service cannot make progress
-========  =========  ====================================================
+========  ==============  ==============================================
+method    path            body / behaviour
+========  ==============  ==============================================
+POST      /v1/jobs        wire request document → ``{"job_id", ...}``
+GET       /v1/jobs/<id>   ``?wait_s=`` → wire job snapshot
+DELETE    /v1/jobs/<id>   cancel a queued job
+GET       /v1/stats       metrics snapshot
+GET       /v1/healthz     liveness probe (503 when stuck)
+GET       /result         deprecated alias (``Deprecation`` header;
+                          arrays as nested lists)
+GET       /stats /healthz deprecated aliases (``Deprecation`` header)
+POST      /submit         deprecated pickle submit — this class still
+                          serves it by default (``allow_legacy_pickle=
+                          True``: constructing the legacy server *is* the
+                          operator's opt-in), loopback peers only unless
+                          ``allow_untrusted_pickle``
+========  ==============  ==============================================
 
-``/result`` answers 404 for a job id the service has never seen and 410
-(gone) for one that existed but was dropped by finished-job retention.
-``/submit`` answers 429 with a ``Retry-After`` header when admission
-control refuses the request (queue saturated and the submission outranks
-nothing queued); :meth:`ServiceClient.submit` re-raises that as
-:class:`~repro.service.scheduler.QueueSaturatedError` so callers can back
-off programmatically.
+Every 4xx/5xx body is the ``/v1`` error envelope
+``{"error": {"code", "message", "retry_after"}}``.
 
-Job requests travel as pickled :class:`~repro.service.jobs.JobRequest`
-payloads (base64 inside JSON) because they embed full layout/profile
-objects.  **Unpickling executes arbitrary code** — the handler therefore
-refuses ``/submit`` from non-loopback peers with a 403 before touching the
-payload, unless the server was started with ``--unsafe-allow-remote-pickle``
-(``allow_untrusted_pickle=True``) for a fully trusted network.
+The old ``/submit`` wire is pickle (base64 inside JSON), and **unpickling
+executes arbitrary code** — the handler refuses it for non-loopback peers
+with a 403 before touching the payload, and answers 410 outright when the
+server was constructed with ``allow_legacy_pickle=False``.  New code
+should POST schema documents to ``/v1/jobs`` instead.
 """
 
 from __future__ import annotations
 
-import argparse
 import base64
 import ipaddress
 import json
-import os
 import pickle
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from urllib.error import HTTPError
-from urllib.parse import parse_qs, urlparse
-from urllib.request import Request, urlopen
+from urllib.parse import parse_qs, unquote, urlparse
 
-from .jobs import JobExpiredError, JobRequest, JobState
-from .scheduler import QueueSaturatedError, Scheduler
+from .jobs import JobExpiredError, JobRequest
+from .scheduler import Scheduler
+from .wire import (
+    error_envelope,
+    submit_route,
+    v1_cancel,
+    v1_snapshot,
+    v1_submit,
+)
 
 __all__ = ["ExtractionServer", "ServiceClient", "main"]
+
+#: headers stamped on every deprecated-path response (RFC 8594 style)
+_DEPRECATION_HEADERS = {
+    "Deprecation": "true",
+    "Link": '</v1/>; rel="successor-version"',
+}
 
 
 def _is_loopback_address(host: str) -> bool:
@@ -77,7 +86,7 @@ def _make_handler(scheduler: Scheduler):
     """Bind a request-handler class to one scheduler instance."""
 
     class ExtractionHandler(BaseHTTPRequestHandler):
-        server_version = "ReproExtractionService/1.0"
+        server_version = "ReproExtractionService/2.0"
 
         # ------------------------------------------------------------ plumbing
         def log_message(self, format: str, *args) -> None:  # noqa: A002
@@ -95,68 +104,103 @@ def _make_handler(scheduler: Scheduler):
             self.end_headers()
             self.wfile.write(body)
 
-        def _send_error_json(self, status: int, message: str) -> None:
-            self._send_json({"error": message}, status=status)
+        def _send_error_json(
+            self,
+            status: int,
+            code: str,
+            message: str,
+            retry_after: float | None = None,
+            headers: dict | None = None,
+        ) -> None:
+            self._send_json(
+                error_envelope(code, message, retry_after),
+                status=status,
+                headers=headers,
+            )
 
-        def _require_trusted_peer(self) -> bool:
-            """Gate every pickle-carrying endpoint on the peer address.
+        def _require_legacy_pickle_optin(self) -> bool:
+            """Gate the deprecated pickle endpoint; True when allowed.
 
-            The submit payload is a pickle, and unpickling executes
-            arbitrary code — serving it to an arbitrary network peer would
-            be remote code execution.  Unless the server was explicitly
-            started with the remote-pickle override, only loopback peers
-            may reach ``pickle.loads`` below; everyone else gets a 403.
+            Two layers: ``/submit`` only exists while the operator keeps
+            the legacy opt-in (``allow_legacy_pickle``, this server's
+            default — running the deprecated server class *is* the
+            opt-in); and because unpickling executes arbitrary code, it is
+            served to loopback peers only unless the explicit
+            ``--unsafe-allow-remote-pickle`` override is also set.
             """
+            if not getattr(self.server, "allow_legacy_pickle", True):
+                self._send_error_json(
+                    410,
+                    "legacy_pickle_disabled",
+                    "the pickle wire was retired; POST a schema document to "
+                    "/v1/jobs (operators can revive /submit with "
+                    "allow_legacy_pickle=True)",
+                    headers=_DEPRECATION_HEADERS,
+                )
+                return False
             if getattr(self.server, "allow_untrusted_pickle", False):
                 return True
             if _is_loopback_address(self.client_address[0]):
                 return True
             self._send_error_json(
                 403,
+                "forbidden",
                 "submit carries a pickle payload and is served to loopback "
                 "clients only (start with --unsafe-allow-remote-pickle to "
                 "override on a trusted network)",
+                headers=_DEPRECATION_HEADERS,
             )
             return False
 
+        def _read_body(self) -> bytes:
+            length = int(self.headers.get("Content-Length", "0") or 0)
+            return self.rfile.read(length) if length else b""
+
         # ------------------------------------------------------------- routes
         def do_POST(self) -> None:  # noqa: N802 - stdlib handler contract
-            if urlparse(self.path).path != "/submit":
-                self._send_error_json(404, f"unknown path {self.path!r}")
+            path = urlparse(self.path).path
+            if path == "/v1/jobs":
+                try:
+                    doc = json.loads(self._read_body() or b"{}")
+                except ValueError:
+                    self._send_error_json(400, "bad_request", "body is not JSON")
+                    return
+                status, payload, extra = v1_submit(scheduler, doc)
+                self._send_json(payload, status=status, headers=extra)
                 return
-            if not self._require_trusted_peer():
+            if path == "/submit":
+                self._legacy_submit()
+                return
+            self._send_error_json(404, "not_found", f"unknown path {self.path!r}")
+
+        def _legacy_submit(self) -> None:
+            if not self._require_legacy_pickle_optin():
                 return
             try:
-                length = int(self.headers.get("Content-Length", "0"))
-                doc = json.loads(self.rfile.read(length) or b"{}")
+                doc = json.loads(self._read_body() or b"{}")
                 blob = base64.b64decode(doc["request_pickle"])
                 request = pickle.loads(blob)
                 if not isinstance(request, JobRequest):
                     raise TypeError("payload did not unpickle to a JobRequest")
             except Exception as exc:  # noqa: BLE001 - malformed client input
-                self._send_error_json(400, f"bad submit payload: {exc}")
-                return
-            try:
-                job_id = scheduler.submit(request)
-            except QueueSaturatedError as exc:
-                # load shedding: tell the client when to come back; a whole
-                # number of seconds because Retry-After is delta-seconds
-                retry_after = max(1, round(exc.retry_after_s))
-                self._send_json(
-                    {"error": str(exc), "retry_after_s": exc.retry_after_s},
-                    status=429,
-                    headers={"Retry-After": str(retry_after)},
+                self._send_error_json(
+                    400,
+                    "bad_request",
+                    f"bad submit payload: {exc}",
+                    headers=_DEPRECATION_HEADERS,
                 )
                 return
-            except Exception as exc:  # noqa: BLE001 - e.g. scheduler closed
-                self._send_error_json(503, str(exc))
-                return
-            self._send_json({"job_id": job_id, "status": JobState.PENDING})
+            scheduler.metrics.record_legacy_pickle_submit()
+            status, payload, extra = submit_route(scheduler, request)
+            self._send_json(
+                payload, status=status, headers={**extra, **_DEPRECATION_HEADERS}
+            )
 
         def do_GET(self) -> None:  # noqa: N802 - stdlib handler contract
             url = urlparse(self.path)
             query = parse_qs(url.query)
-            if url.path == "/healthz":
+            path = url.path
+            if path in ("/v1/healthz", "/healthz"):
                 health = scheduler.health()
                 health.update(
                     {
@@ -164,42 +208,96 @@ def _make_handler(scheduler: Scheduler):
                         "uptime_s": time.monotonic() - scheduler.metrics.started_at,
                     }
                 )
-                self._send_json(health, status=200 if health["ok"] else 503)
+                self._send_json(
+                    health,
+                    status=200 if health["ok"] else 503,
+                    headers=_DEPRECATION_HEADERS if path == "/healthz" else None,
+                )
                 return
-            if url.path == "/stats":
-                self._send_json(scheduler.stats())
+            if path in ("/v1/stats", "/stats"):
+                self._send_json(
+                    scheduler.stats(),
+                    headers=_DEPRECATION_HEADERS if path == "/stats" else None,
+                )
                 return
-            if url.path == "/result":
-                job_id = (query.get("job_id") or [None])[0]
-                if not job_id:
-                    self._send_error_json(400, "missing job_id")
-                    return
-                try:
-                    wait_s = float((query.get("wait_s") or ["0"])[0])
-                except ValueError:
-                    self._send_error_json(400, "wait_s must be a number")
-                    return
-                try:
-                    snapshot = scheduler.snapshot(
-                        job_id, wait_s=wait_s if wait_s > 0 else None
-                    )
-                except JobExpiredError:
-                    self._send_json(
-                        {
-                            "error": f"job id {job_id!r} expired (retention)",
-                            "status": "expired",
-                        },
-                        status=410,
+            if path.startswith("/v1/jobs/"):
+                job_id = unquote(path[len("/v1/jobs/"):])
+                wait_s = self._parse_wait_s(query)
+                if wait_s is _INVALID:
+                    self._send_error_json(
+                        400, "bad_request", "wait_s must be a number"
                     )
                     return
-                except KeyError:
-                    self._send_error_json(404, f"unknown job id {job_id!r}")
-                    return
-                self._send_json(snapshot)
+                status, payload, extra = v1_snapshot(scheduler, job_id, wait_s)
+                self._send_json(payload, status=status, headers=extra)
                 return
-            self._send_error_json(404, f"unknown path {url.path!r}")
+            if path == "/result":
+                self._legacy_result(query)
+                return
+            self._send_error_json(404, "not_found", f"unknown path {path!r}")
+
+        def _legacy_result(self, query: dict) -> None:
+            job_id = (query.get("job_id") or [None])[0]
+            if not job_id:
+                self._send_error_json(
+                    400, "bad_request", "missing job_id", headers=_DEPRECATION_HEADERS
+                )
+                return
+            wait_s = self._parse_wait_s(query)
+            if wait_s is _INVALID:
+                self._send_error_json(
+                    400,
+                    "bad_request",
+                    "wait_s must be a number",
+                    headers=_DEPRECATION_HEADERS,
+                )
+                return
+            try:
+                snapshot = scheduler.snapshot(job_id, wait_s=wait_s)
+            except JobExpiredError:
+                self._send_error_json(
+                    410,
+                    "job_expired",
+                    f"job id {job_id!r} expired (retention)",
+                    headers=_DEPRECATION_HEADERS,
+                )
+                return
+            except KeyError:
+                self._send_error_json(
+                    404,
+                    "unknown_job",
+                    f"unknown job id {job_id!r}",
+                    headers=_DEPRECATION_HEADERS,
+                )
+                return
+            # the legacy body keeps arrays as nested lists — old clients parse it
+            self._send_json(snapshot, headers=_DEPRECATION_HEADERS)
+
+        def do_DELETE(self) -> None:  # noqa: N802 - stdlib handler contract
+            path = urlparse(self.path).path
+            if path.startswith("/v1/jobs/"):
+                job_id = unquote(path[len("/v1/jobs/"):])
+                status, payload, extra = v1_cancel(scheduler, job_id)
+                self._send_json(payload, status=status, headers=extra)
+                return
+            self._send_error_json(404, "not_found", f"unknown path {path!r}")
+
+        @staticmethod
+        def _parse_wait_s(query: dict):
+            raw = (query.get("wait_s") or [None])[0]
+            if raw is None:
+                return None
+            try:
+                wait_s = float(raw)
+            except ValueError:
+                return _INVALID
+            return wait_s if wait_s > 0 else None
 
     return ExtractionHandler
+
+
+#: sentinel for "wait_s present but not a number" (None means "no wait")
+_INVALID = object()
 
 
 class ExtractionServer:
@@ -208,6 +306,12 @@ class ExtractionServer:
     ``port=0`` (the default) binds an ephemeral port — read it back from
     :attr:`port` / :attr:`url` after construction.  Use as a context manager
     or call :meth:`close`, which also shuts the scheduler down.
+
+    This is the **legacy** front end: constructing it keeps the deprecated
+    pickle ``/submit`` endpoint alive (``allow_legacy_pickle=True`` — that
+    construction is the operator's opt-in); pass ``False`` to serve the
+    schema-first ``/v1`` routes only.  New deployments should prefer
+    :class:`~repro.service.aserver.AsyncExtractionServer`.
     """
 
     def __init__(
@@ -216,15 +320,18 @@ class ExtractionServer:
         port: int = 0,
         scheduler: Scheduler | None = None,
         allow_untrusted_pickle: bool = False,
+        allow_legacy_pickle: bool = True,
         **scheduler_kwargs,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else Scheduler(**scheduler_kwargs)
         self._owns_scheduler = scheduler is None
         self._httpd = ThreadingHTTPServer((host, port), _make_handler(self.scheduler))
         self._httpd.daemon_threads = True
-        # consumed by the handler's _require_trusted_peer gate: pickled
-        # submissions are loopback-only unless the operator opted out
+        # consumed by the handler's _require_legacy_pickle_optin gate:
+        # pickled submissions are loopback-only unless the operator opted
+        # out, and gone entirely when allow_legacy_pickle is False
         self._httpd.allow_untrusted_pickle = bool(allow_untrusted_pickle)
+        self._httpd.allow_legacy_pickle = bool(allow_legacy_pickle)
         self._thread: threading.Thread | None = None
 
     @property
@@ -251,7 +358,7 @@ class ExtractionServer:
         return self
 
     def serve_forever(self) -> None:
-        """Serve on the calling thread (the CLI entry point)."""
+        """Serve on the calling thread (the legacy CLI path)."""
         self._httpd.serve_forever()
 
     def close(self) -> None:
@@ -270,205 +377,12 @@ class ExtractionServer:
         self.close()
 
 
-class ServiceClient:
-    """Blocking Python client of an :class:`ExtractionServer`."""
-
-    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
-        self.url = url.rstrip("/")
-        self.timeout_s = float(timeout_s)
-
-    # ------------------------------------------------------------------ http
-    def _get(self, path: str, timeout_s: float | None = None) -> dict:
-        with urlopen(
-            self.url + path, timeout=timeout_s if timeout_s is not None else self.timeout_s
-        ) as response:
-            return json.loads(response.read())
-
-    def _post(self, path: str, payload: dict) -> dict:
-        body = json.dumps(payload).encode()
-        request = Request(
-            self.url + path, data=body, headers={"Content-Type": "application/json"}
-        )
-        with urlopen(request, timeout=self.timeout_s) as response:
-            return json.loads(response.read())
-
-    # ------------------------------------------------------------------- api
-    def submit(self, request: JobRequest) -> str:
-        """Ship one request; returns the server's job id.
-
-        A 429 (admission control shed the submission) is re-raised as
-        :class:`~repro.service.scheduler.QueueSaturatedError` carrying the
-        server's ``Retry-After`` hint in ``retry_after_s``.
-        """
-        blob = base64.b64encode(pickle.dumps(request)).decode()
-        try:
-            return self._post("/submit", {"request_pickle": blob})["job_id"]
-        except HTTPError as exc:
-            if exc.code == 429:
-                retry_after = 1.0
-                try:
-                    doc = json.loads(exc.read())
-                    retry_after = float(
-                        doc.get("retry_after_s")
-                        or exc.headers.get("Retry-After")
-                        or 1.0
-                    )
-                    message = doc.get("error") or "queue saturated"
-                except Exception:  # noqa: BLE001 - body is best-effort detail
-                    message = "queue saturated"
-                raise QueueSaturatedError(message, retry_after_s=retry_after) from exc
-            raise
-
-    def result(self, job_id: str, wait_s: float = 0.0) -> dict:
-        """One job snapshot, optionally long-polling up to ``wait_s``.
-
-        Raises :class:`~repro.service.jobs.JobExpiredError` when the server
-        answers 410 — the id existed but its record was dropped by
-        finished-job retention.
-        """
-        path = f"/result?job_id={job_id}"
-        if wait_s > 0:
-            path += f"&wait_s={wait_s:g}"
-        try:
-            return self._get(path, timeout_s=self.timeout_s + wait_s)
-        except HTTPError as exc:
-            if exc.code == 410:
-                raise JobExpiredError(f"job id {job_id!r} expired") from exc
-            raise
-
-    def wait(self, job_id: str, timeout_s: float = 60.0) -> dict:
-        """Block until the job is terminal; raises on timeout."""
-        deadline = time.monotonic() + timeout_s
-        while True:
-            remaining = deadline - time.monotonic()
-            if remaining <= 0:
-                raise TimeoutError(f"job {job_id} not terminal after {timeout_s:g}s")
-            snapshot = self.result(job_id, wait_s=min(remaining, 5.0))
-            if snapshot["status"] in JobState.TERMINAL:
-                return snapshot
-
-    def extract(self, request: JobRequest, timeout_s: float = 60.0):
-        """Submit + wait + unpack: solved columns as an ndarray (or pair values).
-
-        Returns the ``(n_contacts, k)`` column block for column/dense
-        requests, the pair-value vector for pure pair requests, and the
-        ``(column block, pair values)`` tuple when the request asked for
-        both.  Raises ``RuntimeError`` on any non-``done`` terminal status.
-        """
-        import numpy as np
-
-        snapshot = self.wait(self.submit(request), timeout_s=timeout_s)
-        if snapshot["status"] != JobState.DONE:
-            raise RuntimeError(
-                f"job {snapshot['job_id']} ended {snapshot['status']}: "
-                f"{snapshot.get('error')}"
-            )
-        result = (
-            np.asarray(snapshot["result"]) if snapshot["result"] is not None else None
-        )
-        pairs = (
-            np.asarray(snapshot["pair_values"])
-            if snapshot["pair_values"] is not None
-            else None
-        )
-        if result is not None and pairs is not None:
-            return result, pairs
-        return result if result is not None else pairs
-
-    def stats(self) -> dict:
-        return self._get("/stats")
-
-    def healthz(self) -> dict:
-        return self._get("/healthz")
-
-
 def main(argv: list[str] | None = None) -> None:
-    """CLI entry point: ``python -m repro.service [--host H] [--port P] ...``."""
-    parser = argparse.ArgumentParser(
-        prog="python -m repro.service",
-        description="Run the substrate-extraction service (HTTP/JSON front end).",
-    )
-    parser.add_argument("--host", default="127.0.0.1", help="bind address")
-    parser.add_argument("--port", type=int, default=8752, help="bind port (0=ephemeral)")
-    parser.add_argument(
-        "--workers", type=int, default=None, help="extraction worker processes per engine"
-    )
-    parser.add_argument(
-        "--max-solvers", type=int, default=4, help="warm engines kept across substrates"
-    )
-    parser.add_argument(
-        "--store-bytes", type=int, default=None, help="result-store budget in bytes"
-    )
-    parser.add_argument(
-        "--coalesce-window",
-        type=float,
-        default=0.0,
-        help="seconds to linger before draining the queue (batches near-simultaneous jobs)",
-    )
-    parser.add_argument(
-        "--state-dir",
-        default=None,
-        help=(
-            "durable state directory (result corpus, factor artifacts, job "
-            "journal); omit for the in-memory default"
-        ),
-    )
-    parser.add_argument(
-        "--max-queue-depth",
-        type=int,
-        default=None,
-        help=(
-            "admission-control bound on the pending queue; when full, new "
-            "submissions shed the lowest-priority queued job or get HTTP 429 "
-            "(omit for an unbounded queue)"
-        ),
-    )
-    parser.add_argument(
-        "--faults",
-        default=None,
-        help=(
-            "fault-injection plan: JSON text or @path to a JSON file "
-            "(exported as REPRO_FAULTS so worker processes inherit it); "
-            "chaos testing only"
-        ),
-    )
-    parser.add_argument(
-        "--unsafe-allow-remote-pickle",
-        action="store_true",
-        help=(
-            "serve pickled /submit payloads to non-loopback peers; unpickling "
-            "executes arbitrary code, so enable this only on a fully trusted "
-            "network"
-        ),
-    )
-    args = parser.parse_args(argv)
+    """Deprecated alias of :func:`repro.service.aserver.main`."""
+    from .aserver import main as aserver_main
 
-    from .result_store import ResultStore
+    aserver_main(argv)
 
-    if args.faults:
-        from .. import faults
 
-        # export via the environment so worker processes inherit the plan,
-        # then parse eagerly — a typo'd plan fails the CLI, not a worker
-        os.environ[faults.ENV_VAR] = args.faults
-        faults.reload_env_plan()
-
-    store = ResultStore(args.store_bytes) if args.store_bytes is not None else None
-    server = ExtractionServer(
-        host=args.host,
-        port=args.port,
-        allow_untrusted_pickle=args.unsafe_allow_remote_pickle,
-        n_workers=args.workers,
-        max_solvers=args.max_solvers,
-        store=store,
-        coalesce_window_s=args.coalesce_window,
-        persistence=args.state_dir,
-        max_queue_depth=args.max_queue_depth,
-    )
-    print(f"extraction service listening on {server.url} (Ctrl-C to stop)")
-    try:
-        server.serve_forever()
-    except KeyboardInterrupt:
-        pass
-    finally:
-        server.close()
+# re-exported here for backwards compatibility; the class moved to client.py
+from .client import ServiceClient  # noqa: E402

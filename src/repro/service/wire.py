@@ -1,0 +1,493 @@
+"""Schema-first JSON wire protocol of the extraction service (``/v1/``).
+
+The original front door shipped :class:`~repro.service.jobs.JobRequest`
+objects as base64 pickle inside JSON — convenient, but unpickling executes
+arbitrary code, so the endpoint could never leave loopback.  This module
+replaces it with a **declarative schema**: layout, profile, options and the
+columns/pairs query travel as plain JSON data, numeric arrays as
+base64-encoded float64 buffers with explicit dtype/shape, and the decoder
+*constructs* the domain objects instead of trusting serialized code.  The
+round trip is exact — a decoded spec has the **same
+:attr:`~repro.substrate.parallel.SolverSpec.fingerprint`** as the original,
+so coalescing, the result corpus and the factor artifact store all keep
+working unchanged across the wire boundary.
+
+Wire documents (all carry ``"schema_version"`` at the top level where they
+stand alone):
+
+========================  ===================================================
+document                  shape
+========================  ===================================================
+value                     JSON scalar, list, dict — plus two tagged forms:
+                          ``{"__wire__": "tuple", "items": [...]}`` (tuples
+                          survive, ``repr``-identical for fingerprints) and
+                          ``{"__wire__": "ndarray", "dtype", "shape",
+                          "data"}`` (base64 of the C-order buffer)
+layout                    ``{"size_x", "size_y", "contacts": [{"x", "y",
+                          "width", "height", "name"}, ...]}``
+profile                   ``null`` or ``{"size_x", "size_y", "layers":
+                          [{"thickness", "conductivity"}, ...],
+                          "grounded_backplane"}``
+spec                      ``{"kind", "layout", "profile", "options"}``
+request                   ``{"schema_version", "spec", "columns", "pairs",
+                          "tolerance", "priority", "timeout_s"}``
+error envelope            ``{"error": {"code", "message", "retry_after"}}``
+========================  ===================================================
+
+Exactness: JSON numbers round-trip Python floats bit-for-bit (``repr``
+based), tuples are tagged so ``repr``-keyed fingerprint items cannot decay
+into lists, and arrays travel as raw little-endian float64 bytes — no
+formatting, no precision loss anywhere on the wire.
+
+The module also owns the protocol-level pieces both front ends share: the
+single error envelope (every 4xx/5xx body conforms), the typed exceptions
+the client maps envelopes back into, and the ``/v1`` submit/snapshot route
+logic (transport-agnostic: the threaded legacy server and the asyncio front
+door call the same functions).
+"""
+
+from __future__ import annotations
+
+import base64
+from typing import Any
+
+import numpy as np
+
+from ..geometry.contact import Contact, ContactLayout
+from ..substrate.parallel import SPEC_KINDS, SolverSpec
+from ..substrate.profile import Layer, SubstrateProfile
+from .jobs import SCHEMA_VERSION, JobExpiredError, JobRequest, JobState
+from .scheduler import QueueSaturatedError, Scheduler
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "WireFormatError",
+    "ServiceError",
+    "BadRequestError",
+    "UnknownJobError",
+    "ServiceUnavailableError",
+    "LegacyPickleDisabledError",
+    "encode_value",
+    "decode_value",
+    "encode_array",
+    "decode_array",
+    "layout_to_wire",
+    "layout_from_wire",
+    "profile_to_wire",
+    "profile_from_wire",
+    "spec_to_wire",
+    "spec_from_wire",
+    "request_to_wire",
+    "request_from_wire",
+    "snapshot_to_wire",
+    "error_envelope",
+    "raise_for_envelope",
+    "submit_route",
+    "v1_submit",
+    "v1_snapshot",
+    "v1_cancel",
+]
+
+#: reserved key marking the tagged value forms; a plain dict may not use it
+_TAG = "__wire__"
+
+
+class WireFormatError(ValueError):
+    """A wire document failed to decode (malformed, wrong types, bad tag)."""
+
+
+# ------------------------------------------------------------ typed exceptions
+class ServiceError(RuntimeError):
+    """Base of the typed exceptions decoded from the error envelope.
+
+    Carries the machine-readable ``code``, the HTTP ``status`` it arrived
+    under, and the server's ``retry_after`` hint (seconds, or ``None``).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        code: str = "error",
+        status: int = 500,
+        retry_after: float | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.code = code
+        self.status = int(status)
+        self.retry_after = retry_after
+
+
+class BadRequestError(ServiceError):
+    """The server rejected the request document (envelope code ``bad_request``)."""
+
+
+class UnknownJobError(ServiceError, KeyError):
+    """A job id the service has never seen (envelope code ``unknown_job``).
+
+    Subclasses :class:`KeyError` to match the in-process
+    :meth:`~repro.service.scheduler.Scheduler.result` contract.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return RuntimeError.__str__(self)
+
+
+class ServiceUnavailableError(ServiceError):
+    """The service cannot make progress (envelope code ``unavailable``)."""
+
+
+class LegacyPickleDisabledError(ServiceError):
+    """The deprecated pickle endpoint is off (envelope code ``legacy_pickle_disabled``)."""
+
+
+#: envelope code -> exception factory used by :func:`raise_for_envelope`
+_CODE_EXCEPTIONS: dict[str, type[ServiceError]] = {
+    "bad_request": BadRequestError,
+    "unknown_job": UnknownJobError,
+    "unavailable": ServiceUnavailableError,
+    "legacy_pickle_disabled": LegacyPickleDisabledError,
+}
+
+
+def error_envelope(
+    code: str, message: str, retry_after: float | None = None
+) -> dict:
+    """The one JSON error body every endpoint answers 4xx/5xx with."""
+    return {
+        "error": {
+            "code": str(code),
+            "message": str(message),
+            "retry_after": retry_after,
+        }
+    }
+
+
+def raise_for_envelope(status: int, doc: Any) -> None:
+    """Raise the typed exception an error envelope describes.
+
+    ``job_expired`` raises the in-process
+    :class:`~repro.service.jobs.JobExpiredError`, ``queue_saturated`` the
+    in-process :class:`~repro.service.scheduler.QueueSaturatedError`
+    (carrying the retry hint) — callers handle local and remote failures
+    with one ``except`` clause.  Anything else raises a
+    :class:`ServiceError` subclass keyed on the envelope code.
+    """
+    err = doc.get("error") if isinstance(doc, dict) else None
+    if not isinstance(err, dict):
+        err = {"code": "error", "message": str(doc)}
+    code = str(err.get("code") or "error")
+    message = str(err.get("message") or f"HTTP {status}")
+    retry_after = err.get("retry_after")
+    if code == "job_expired":
+        raise JobExpiredError(message)
+    if code == "queue_saturated":
+        raise QueueSaturatedError(
+            message, retry_after_s=float(retry_after or 1.0)
+        )
+    cls = _CODE_EXCEPTIONS.get(code, ServiceError)
+    raise cls(message, code=code, status=status, retry_after=retry_after)
+
+
+# ------------------------------------------------------------------ primitives
+def encode_array(array: np.ndarray) -> dict:
+    """One ndarray as ``{"__wire__": "ndarray", "dtype", "shape", "data"}``.
+
+    The buffer travels base64-encoded in C order under an explicit
+    little-endian dtype — bit-exact, no text formatting involved.
+    """
+    contiguous = np.ascontiguousarray(array)
+    dtype = contiguous.dtype.newbyteorder("<")
+    return {
+        _TAG: "ndarray",
+        "dtype": dtype.str,
+        "shape": list(contiguous.shape),
+        "data": base64.b64encode(contiguous.astype(dtype, copy=False).tobytes()).decode(),
+    }
+
+
+def decode_array(doc: dict) -> np.ndarray:
+    """Rebuild the ndarray an :func:`encode_array` document describes."""
+    try:
+        dtype = np.dtype(str(doc["dtype"]))
+        shape = tuple(int(s) for s in doc["shape"])
+        data = base64.b64decode(doc["data"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed ndarray document: {exc}") from exc
+    if dtype.hasobject:
+        raise WireFormatError("object dtypes are not wire-encodable")
+    if len(data) != dtype.itemsize * int(np.prod(shape, dtype=np.int64)):
+        raise WireFormatError("ndarray payload size does not match dtype * shape")
+    array = np.frombuffer(data, dtype=dtype).reshape(shape)
+    return np.ascontiguousarray(array.astype(dtype.newbyteorder("="), copy=True))
+
+
+def encode_value(value: Any) -> Any:
+    """One option value as plain JSON data (tuples and arrays tagged)."""
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, np.ndarray):
+        return encode_array(value)
+    if isinstance(value, np.generic):
+        return value.item()
+    if isinstance(value, tuple):
+        return {_TAG: "tuple", "items": [encode_value(v) for v in value]}
+    if isinstance(value, list):
+        return [encode_value(v) for v in value]
+    if isinstance(value, dict):
+        if _TAG in value:
+            raise WireFormatError(f"dict key {_TAG!r} is reserved by the wire format")
+        if not all(isinstance(k, str) for k in value):
+            raise WireFormatError("only string-keyed dicts are wire-encodable")
+        return {k: encode_value(v) for k, v in value.items()}
+    raise WireFormatError(
+        f"value of type {type(value).__name__} is not wire-encodable"
+    )
+
+
+def decode_value(doc: Any) -> Any:
+    """Inverse of :func:`encode_value`."""
+    if doc is None or isinstance(doc, (bool, int, float, str)):
+        return doc
+    if isinstance(doc, list):
+        return [decode_value(v) for v in doc]
+    if isinstance(doc, dict):
+        tag = doc.get(_TAG)
+        if tag == "ndarray":
+            return decode_array(doc)
+        if tag == "tuple":
+            items = doc.get("items")
+            if not isinstance(items, list):
+                raise WireFormatError("tuple document lacks an items list")
+            return tuple(decode_value(v) for v in items)
+        if tag is not None:
+            raise WireFormatError(f"unknown wire tag {tag!r}")
+        return {str(k): decode_value(v) for k, v in doc.items()}
+    raise WireFormatError(f"undecodable wire value of type {type(doc).__name__}")
+
+
+# ------------------------------------------------------------- domain objects
+def layout_to_wire(layout: ContactLayout) -> dict:
+    return {
+        "size_x": layout.size_x,
+        "size_y": layout.size_y,
+        "contacts": [
+            {"x": c.x, "y": c.y, "width": c.width, "height": c.height, "name": c.name}
+            for c in layout.contacts
+        ],
+    }
+
+
+def layout_from_wire(doc: Any) -> ContactLayout:
+    if not isinstance(doc, dict):
+        raise WireFormatError("layout document must be an object")
+    try:
+        contacts = [
+            Contact(
+                float(c["x"]),
+                float(c["y"]),
+                float(c["width"]),
+                float(c["height"]),
+                str(c.get("name", "")),
+            )
+            for c in doc["contacts"]
+        ]
+        return ContactLayout(contacts, float(doc["size_x"]), float(doc["size_y"]))
+    except WireFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed layout document: {exc}") from exc
+
+
+def profile_to_wire(profile: SubstrateProfile | None) -> dict | None:
+    if profile is None:
+        return None
+    return {
+        "size_x": profile.size_x,
+        "size_y": profile.size_y,
+        "layers": [
+            {"thickness": layer.thickness, "conductivity": layer.conductivity}
+            for layer in profile.layers
+        ],
+        "grounded_backplane": profile.grounded_backplane,
+    }
+
+
+def profile_from_wire(doc: Any) -> SubstrateProfile | None:
+    if doc is None:
+        return None
+    if not isinstance(doc, dict):
+        raise WireFormatError("profile document must be an object or null")
+    try:
+        layers = [
+            Layer(float(layer["thickness"]), float(layer["conductivity"]))
+            for layer in doc["layers"]
+        ]
+        return SubstrateProfile(
+            float(doc["size_x"]),
+            float(doc["size_y"]),
+            layers,
+            grounded_backplane=bool(doc["grounded_backplane"]),
+        )
+    except WireFormatError:
+        raise
+    except (KeyError, TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed profile document: {exc}") from exc
+
+
+def spec_to_wire(spec: SolverSpec) -> dict:
+    return {
+        "kind": spec.kind,
+        "layout": layout_to_wire(spec.layout),
+        "profile": profile_to_wire(spec.profile),
+        "options": {key: encode_value(value) for key, value in spec.options.items()},
+    }
+
+
+def spec_from_wire(doc: Any) -> SolverSpec:
+    if not isinstance(doc, dict):
+        raise WireFormatError("spec document must be an object")
+    kind = doc.get("kind")
+    if kind not in SPEC_KINDS:
+        raise WireFormatError(f"spec kind must be one of {SPEC_KINDS}, got {kind!r}")
+    options_doc = doc.get("options") or {}
+    if not isinstance(options_doc, dict):
+        raise WireFormatError("spec options must be an object")
+    try:
+        return SolverSpec(
+            kind,
+            layout_from_wire(doc.get("layout")),
+            profile_from_wire(doc.get("profile")),
+            {str(k): decode_value(v) for k, v in options_doc.items()},
+        )
+    except WireFormatError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed spec document: {exc}") from exc
+
+
+def request_to_wire(request: JobRequest) -> dict:
+    """One :class:`JobRequest` as the ``/v1`` submit document (no pickle)."""
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "spec": spec_to_wire(request.spec),
+        "columns": list(request.columns) if request.columns is not None else None,
+        "pairs": [list(p) for p in request.pairs] if request.pairs is not None else None,
+        "tolerance": request.tolerance,
+        "priority": request.priority,
+        "timeout_s": request.timeout_s,
+    }
+
+
+def request_from_wire(doc: Any) -> JobRequest:
+    """Rebuild the :class:`JobRequest` a submit document describes.
+
+    Raises :class:`WireFormatError` for anything malformed — including an
+    unknown ``schema_version``, so a future v2 client fails loudly against
+    a v1 server instead of being half-understood.
+    """
+    if not isinstance(doc, dict):
+        raise WireFormatError("request document must be an object")
+    version = doc.get("schema_version", SCHEMA_VERSION)
+    if version != SCHEMA_VERSION:
+        raise WireFormatError(
+            f"unsupported schema_version {version!r} (this server speaks "
+            f"{SCHEMA_VERSION})"
+        )
+    columns = doc.get("columns")
+    pairs = doc.get("pairs")
+    tolerance = doc.get("tolerance")
+    timeout_s = doc.get("timeout_s")
+    try:
+        return JobRequest(
+            spec=spec_from_wire(doc.get("spec")),
+            columns=tuple(int(c) for c in columns) if columns is not None else None,
+            pairs=(
+                tuple((int(i), int(j)) for i, j in pairs) if pairs is not None else None
+            ),
+            tolerance=float(tolerance) if tolerance is not None else None,
+            priority=int(doc.get("priority") or 0),
+            timeout_s=float(timeout_s) if timeout_s is not None else None,
+        )
+    except WireFormatError:
+        raise
+    except (TypeError, ValueError) as exc:
+        raise WireFormatError(f"malformed request document: {exc}") from exc
+
+
+def snapshot_to_wire(snapshot: dict) -> dict:
+    """A job snapshot with its array fields re-encoded as wire ndarrays.
+
+    :meth:`~repro.service.jobs.Job.snapshot` serializes arrays as nested
+    lists (the legacy ``/result`` body, kept for old clients); the ``/v1``
+    job view carries the same fields but ships ``result`` and
+    ``pair_values`` as base64 float64 documents — smaller and bit-exact.
+    """
+    doc = dict(snapshot)
+    if doc.get("result") is not None:
+        doc["result"] = encode_array(np.asarray(doc["result"], dtype=np.float64))
+    if doc.get("pair_values") is not None:
+        doc["pair_values"] = encode_array(
+            np.asarray(doc["pair_values"], dtype=np.float64)
+        )
+    return doc
+
+
+# ------------------------------------------------------------------ v1 routes
+#: the transport-agnostic route results: (HTTP status, JSON body, headers)
+RouteResult = tuple[int, dict, dict]
+
+
+def v1_submit(scheduler: Scheduler, doc: Any, watcher=None) -> RouteResult:
+    """``POST /v1/jobs``: decode, submit, answer — shared by both servers."""
+    try:
+        request = request_from_wire(doc)
+    except WireFormatError as exc:
+        return 400, error_envelope("bad_request", f"bad request document: {exc}"), {}
+    return submit_route(scheduler, request, watcher=watcher)
+
+
+def submit_route(scheduler: Scheduler, request: JobRequest, watcher=None) -> RouteResult:
+    """Submit an already-decoded request; shared by ``/v1/jobs`` and the
+    deprecated pickle endpoint (which decodes its own payload)."""
+    try:
+        job_id = scheduler.submit(request, watcher=watcher)
+    except QueueSaturatedError as exc:
+        retry_after = max(1, round(exc.retry_after_s))
+        return (
+            429,
+            error_envelope("queue_saturated", str(exc), retry_after=exc.retry_after_s),
+            {"Retry-After": str(retry_after)},
+        )
+    except RuntimeError as exc:
+        return 503, error_envelope("unavailable", str(exc)), {}
+    return (
+        202,
+        {
+            "schema_version": SCHEMA_VERSION,
+            "job_id": job_id,
+            "status": JobState.PENDING,
+        },
+        {},
+    )
+
+
+def v1_snapshot(
+    scheduler: Scheduler, job_id: str, wait_s: float | None = None
+) -> RouteResult:
+    """``GET /v1/jobs/<id>``: one wire-encoded snapshot (404/410 enveloped)."""
+    try:
+        snapshot = scheduler.snapshot(job_id, wait_s=wait_s)
+    except JobExpiredError as exc:
+        return 410, error_envelope("job_expired", str(exc)), {}
+    except KeyError:
+        return 404, error_envelope("unknown_job", f"unknown job id {job_id!r}"), {}
+    return 200, snapshot_to_wire(snapshot), {}
+
+
+def v1_cancel(scheduler: Scheduler, job_id: str) -> RouteResult:
+    """``DELETE /v1/jobs/<id>``: cancel a queued job (no-op when started)."""
+    try:
+        cancelled = scheduler.cancel(job_id)
+    except KeyError:
+        return 404, error_envelope("unknown_job", f"unknown job id {job_id!r}"), {}
+    return 200, {"schema_version": SCHEMA_VERSION, "job_id": job_id, "cancelled": cancelled}, {}

@@ -26,7 +26,14 @@ import repro.substrate.tiled as tiled_mod
 # name as the module, so a plain ``import ... as`` would bind the function
 factor_cache_mod = import_module("repro.substrate.factor_cache")
 from repro import regular_grid
-from repro.service import ExtractionServer, JobRequest, JobState, Scheduler, ServiceClient
+from repro.service import (
+    ExtractionServer,
+    JobRequest,
+    JobState,
+    Scheduler,
+    ServiceClient,
+    ServiceError,
+)
 from repro.service.persistence import JobJournal, SqliteResultBackend
 from repro.service.server import _is_loopback_address
 from repro.substrate.factor_cache import FactorPlane, SharedFactorHandle
@@ -187,23 +194,26 @@ def test_is_loopback_address(host, trusted):
     assert _is_loopback_address(host) is trusted
 
 
-def test_submit_refused_for_non_loopback_peer(tiny_spec, monkeypatch):
+def test_pickle_submit_refused_for_non_loopback_peer(tiny_spec, monkeypatch):
     with ExtractionServer(n_workers=1) as server:
         client = ServiceClient(server.url, timeout_s=10.0)
         monkeypatch.setattr(server_mod, "_is_loopback_address", lambda host: False)
-        with pytest.raises(urllib.error.HTTPError) as err:
-            client.submit(JobRequest(tiny_spec, columns=(0,)))
-        assert err.value.code == 403
-        body = json.loads(err.value.read().decode("utf-8"))
-        assert "pickle" in body["error"]
-        # pickle-free GET endpoints stay open to any peer
+        with pytest.raises(ServiceError) as err:
+            with pytest.warns(DeprecationWarning):
+                client.submit_pickle(JobRequest(tiny_spec, columns=(0,)))
+        assert err.value.status == 403 and err.value.code == "forbidden"
+        assert "pickle" in str(err.value)
+        # the schema-first /v1 wire carries no pickle: any peer may use it
+        job_id = client.submit(JobRequest(tiny_spec, columns=(0,)))
+        assert client.wait(job_id, timeout_s=30.0)["status"] == JobState.DONE
         assert client.healthz()["ok"] is True
 
 
-def test_submit_allowed_again_with_explicit_override(tiny_spec, monkeypatch):
+def test_pickle_submit_allowed_again_with_explicit_override(tiny_spec, monkeypatch):
     with ExtractionServer(n_workers=1, allow_untrusted_pickle=True) as server:
         monkeypatch.setattr(server_mod, "_is_loopback_address", lambda host: False)
         client = ServiceClient(server.url, timeout_s=30.0)
-        job_id = client.submit(JobRequest(tiny_spec, columns=(0,)))
+        with pytest.warns(DeprecationWarning):
+            job_id = client.submit_pickle(JobRequest(tiny_spec, columns=(0,)))
         snapshot = client.wait(job_id, timeout_s=30.0)
         assert snapshot["status"] == JobState.DONE

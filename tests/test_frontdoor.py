@@ -1,0 +1,422 @@
+"""Asyncio front door: /v1 routes, NDJSON streaming, HTTP micro-batching.
+
+The load-bearing assertions here are the PR's acceptance criteria: streamed
+columns reach the client *before their job completes* (all ``columns``
+events of a coalesced group precede every ``done`` event of that group),
+concurrent streaming clients are served from one event loop, micro-batched
+pair queries collapse into fewer scheduler submits (counter-pinned), no
+pickle crosses the wire unless explicitly revived, and every error body is
+the one envelope.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    AsyncExtractionServer,
+    JobRequest,
+    JobState,
+    LegacyPickleDisabledError,
+    QueueSaturatedError,
+    Scheduler,
+    ServiceClient,
+    UnknownJobError,
+)
+from repro.service.wire import request_to_wire
+from repro.substrate.parallel import SolverSpec
+
+
+# ------------------------------------------------------------------- fixtures
+@pytest.fixture(scope="module")
+def small_layout_module():
+    from repro import regular_grid
+
+    return regular_grid(n_side=4, size=128.0, fill=0.5)
+
+
+@pytest.fixture(scope="module")
+def small_profile_module():
+    from repro import SubstrateProfile
+
+    return SubstrateProfile.two_layer_example(size=128.0, resistive_bottom=True)
+
+
+@pytest.fixture(scope="module")
+def small_g_module(small_layout_module, small_profile_module):
+    from repro import EigenfunctionSolver, extract_dense
+
+    solver = EigenfunctionSolver(
+        small_layout_module, small_profile_module, max_panels=32, rtol=1e-10
+    )
+    return extract_dense(solver, symmetrize=True)
+
+
+@pytest.fixture(scope="module")
+def bem_spec(small_layout_module, small_profile_module):
+    return SolverSpec.bem(
+        small_layout_module, small_profile_module, max_panels=32, rtol=1e-10
+    )
+
+
+@pytest.fixture(scope="module")
+def dense_spec(small_g_module, small_layout_module):
+    return SolverSpec.dense(small_g_module, small_layout_module)
+
+
+def get_json(url: str, expect_status: int | None = None):
+    """Raw GET: (status, parsed body, headers) without the typed client."""
+    try:
+        with urllib.request.urlopen(url, timeout=10.0) as response:
+            return response.status, json.loads(response.read()), response.headers
+    except urllib.error.HTTPError as exc:
+        body = json.loads(exc.read() or b"{}")
+        if expect_status is not None:
+            assert exc.code == expect_status
+        return exc.code, body, exc.headers
+
+
+# --------------------------------------------------------------- happy path
+def test_async_end_to_end_matches_reference(bem_spec, small_g_module):
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url, timeout_s=60.0) as client:
+            assert client.healthz()["ok"] is True
+            block = client.extract(
+                JobRequest(bem_spec, columns=(0, 2, 5)), timeout_s=60.0
+            )
+            scale = np.abs(small_g_module).max()
+            # 1e-8 against the *symmetrized* dense reference (same bound the
+            # scheduler tests use); exact 1e-10 decoded-vs-original agreement
+            # is pinned in test_wire.py
+            assert np.abs(block - small_g_module[:, [0, 2, 5]]).max() / scale < 1e-8
+            stats = client.stats()
+            assert stats["schema_version"] == 1
+            # the schema wire carried everything: no pickle was served
+            assert stats["frontdoor"]["legacy_pickle_submits"] == 0
+
+
+def test_snapshot_schema_version_and_wire_arrays(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url, timeout_s=30.0) as client:
+            job_id = client.submit(JobRequest(dense_spec, columns=(1,)))
+            snapshot = client.wait(job_id, timeout_s=30.0)
+            assert snapshot["schema_version"] == 1
+            assert snapshot["status"] == JobState.DONE
+            assert isinstance(snapshot["result"], np.ndarray)
+            assert snapshot["columns"] == [1]
+
+
+# ---------------------------------------------------------------- streaming
+def test_streamed_columns_arrive_before_job_completion(dense_spec, small_g_module):
+    """Two same-substrate requests coalesce into one solve; every streamed
+    ``columns`` event lands before either job's ``done`` event — a client
+    sees its columns while the jobs are still RUNNING."""
+    scheduler = Scheduler(n_workers=1, autostart=False)
+    try:
+        with AsyncExtractionServer(scheduler=scheduler) as server:
+            client = ServiceClient(server.url, timeout_s=30.0)
+            requests = [
+                JobRequest(dense_spec, columns=(0, 1)),
+                JobRequest(dense_spec, columns=(2, 3)),
+            ]
+            events: list[dict] = []
+            consumed = threading.Event()
+
+            def consume() -> None:
+                events.extend(client.stream(requests, timeout_s=30.0))
+                consumed.set()
+
+            thread = threading.Thread(target=consume)
+            thread.start()
+            # both submits land before any solving: the drain is manual
+            deadline = threading.Event()
+            for _ in range(200):
+                if scheduler.queue_depth == 2:
+                    break
+                deadline.wait(0.05)
+            assert scheduler.queue_depth == 2
+            served = scheduler.step()
+            assert served == 2
+            assert consumed.wait(timeout=30.0)
+            thread.join(timeout=10.0)
+
+            kinds = [event["event"] for event in events]
+            assert kinds[0] == "submitted" and kinds[1] == "submitted"
+            assert kinds[-1] == "end"
+            column_positions = [i for i, k in enumerate(kinds) if k == "columns"]
+            done_positions = [i for i, k in enumerate(kinds) if k == "done"]
+            assert len(done_positions) == 2
+            assert column_positions, "no columns were streamed"
+            # the acceptance criterion: columns precede every completion
+            assert max(column_positions) < min(done_positions)
+            # streamed blocks are the exact solved columns
+            for event in events:
+                if event["event"] == "columns":
+                    expected = small_g_module[:, list(event["columns"])]
+                    np.testing.assert_allclose(event["block"], expected, rtol=1e-12)
+                if event["event"] == "done":
+                    assert event["status"] == JobState.DONE
+                    assert event["snapshot"]["schema_version"] == 1
+    finally:
+        scheduler.close()
+
+
+def test_store_hits_stream_before_any_solve(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url, timeout_s=30.0) as client:
+            client.extract(JobRequest(dense_spec, columns=(0, 1)), timeout_s=30.0)
+            events = list(
+                client.stream(JobRequest(dense_spec, columns=(0, 1)), timeout_s=30.0)
+            )
+            sources = [e["source"] for e in events if e["event"] == "columns"]
+            assert sources == ["store"]  # already-paid-for columns, zero solves
+
+
+def test_concurrent_streaming_clients(dense_spec, small_g_module):
+    """Several clients stream at once from the one event loop; each sees its
+    own columns and completion."""
+    with AsyncExtractionServer(n_workers=1, coalesce_window_s=0.02) as server:
+        column_sets = [(0, 1), (2, 3), (4, 5), (1, 2)]
+        results: dict[int, list] = {}
+
+        def run(i: int) -> None:
+            with ServiceClient(server.url, timeout_s=60.0) as client:
+                results[i] = list(
+                    client.stream(
+                        JobRequest(dense_spec, columns=column_sets[i]),
+                        timeout_s=60.0,
+                    )
+                )
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        assert sorted(results) == [0, 1, 2, 3]
+        for i, events in results.items():
+            kinds = [e["event"] for e in events]
+            assert "done" in kinds and kinds[-1] == "end"
+            streamed = {
+                c
+                for e in events
+                if e["event"] == "columns"
+                for c in e["columns"]
+            }
+            assert streamed == set(column_sets[i])
+        stats = ServiceClient(server.url).stats()
+        assert stats["frontdoor"]["streams_opened"] == 4
+        assert stats["frontdoor"]["stream_columns"] == sum(
+            len(cols) for cols in column_sets
+        )
+
+
+def test_stream_reports_bad_request_inline(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url, timeout_s=30.0) as client:
+            good = JobRequest(dense_spec, columns=(0,))
+            docs = [
+                {"schema_version": 1, "spec": None},  # malformed
+            ]
+            # hand-build the body so one request of the stream is broken
+            from repro.service.wire import request_to_wire
+
+            body = json.dumps(
+                {"requests": [request_to_wire(good)] + docs}
+            ).encode()
+            req = urllib.request.Request(
+                server.url + "/v1/stream",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with urllib.request.urlopen(req, timeout=30.0) as response:
+                events = [json.loads(line) for line in response if line.strip()]
+            by_kind = {}
+            for e in events:
+                by_kind.setdefault(e["event"], []).append(e)
+            assert len(by_kind["error"]) == 1
+            assert by_kind["error"][0]["error"]["code"] == "bad_request"
+            assert len(by_kind["done"]) == 1  # the good request still completed
+
+
+# ------------------------------------------------------------ micro-batching
+def test_pair_queries_microbatch_into_fewer_submits(dense_spec, small_g_module):
+    """Concurrent /v1/pairs queries over one fingerprint coalesce at the
+    HTTP layer: counters pin queries > submits, and every caller gets
+    exactly its values."""
+    queries = [
+        [(0, 1)],
+        [(1, 2), (2, 3)],
+        [(0, 1), (3, 4)],
+        [(5, 6)],
+        [(2, 3)],
+        [(4, 5)],
+    ]
+    with AsyncExtractionServer(
+        n_workers=1, pair_window_s=0.5, pair_max_batch=64
+    ) as server:
+        answers: dict[int, np.ndarray] = {}
+
+        def run(i: int) -> None:
+            with ServiceClient(server.url, timeout_s=60.0) as client:
+                answers[i] = client.pairs(dense_spec, queries[i], timeout_s=60.0)
+
+        threads = [threading.Thread(target=run, args=(i,)) for i in range(len(queries))]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60.0)
+        for i, pairs in enumerate(queries):
+            expected = [small_g_module[a, b] for a, b in pairs]
+            np.testing.assert_allclose(answers[i], expected, rtol=1e-12)
+        stats = ServiceClient(server.url).stats()
+        frontdoor = stats["frontdoor"]
+        assert frontdoor["microbatch_queries"] == len(queries)
+        # the pin: six queries collapsed into strictly fewer submits
+        assert 1 <= frontdoor["microbatch_submits"] < len(queries)
+        assert stats["jobs"]["submitted"] == frontdoor["microbatch_submits"]
+
+
+def test_pairs_endpoint_validates_documents(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        from repro.service.wire import spec_to_wire
+
+        body = json.dumps({"spec": spec_to_wire(dense_spec), "pairs": []}).encode()
+        req = urllib.request.Request(
+            server.url + "/v1/pairs",
+            data=body,
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10.0)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"]["code"] == "bad_request"
+
+
+# ------------------------------------------------------------ error envelope
+def test_error_envelope_conformance(dense_spec):
+    """404 and 429 from the async server all carry the one envelope."""
+    scheduler = Scheduler(n_workers=1, autostart=False, max_queue_depth=1)
+    try:
+        with AsyncExtractionServer(scheduler=scheduler) as server:
+            client = ServiceClient(server.url, timeout_s=10.0)
+            # 404 unknown_job
+            status, body, _ = get_json(server.url + "/v1/jobs/job-999999")
+            assert status == 404 and body["error"]["code"] == "unknown_job"
+            with pytest.raises(UnknownJobError):
+                client.result("job-999999")
+            # 404 not_found for an unknown path
+            status, body, _ = get_json(server.url + "/v1/nope")
+            assert status == 404 and body["error"]["code"] == "not_found"
+            # 429 queue_saturated: typed via the client...
+            client.submit(JobRequest(dense_spec, columns=(0,)))
+            with pytest.raises(QueueSaturatedError) as info:
+                client.submit(JobRequest(dense_spec, columns=(1,)))
+            assert info.value.retry_after_s > 0
+            # ...and the raw envelope + Retry-After header on the wire
+            body = json.dumps(
+                request_to_wire(JobRequest(dense_spec, columns=(2,)))
+            ).encode()
+            req = urllib.request.Request(
+                server.url + "/v1/jobs",
+                data=body,
+                headers={"Content-Type": "application/json"},
+            )
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(req, timeout=10.0)
+            assert err.value.code == 429
+            assert int(err.value.headers["Retry-After"]) >= 1
+            envelope = json.loads(err.value.read())
+            assert envelope["error"]["code"] == "queue_saturated"
+            assert envelope["error"]["retry_after"] > 0
+    finally:
+        scheduler.close()
+
+
+def test_bad_json_body_is_a_bad_request_envelope(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        req = urllib.request.Request(
+            server.url + "/v1/jobs",
+            data=b"{not json",
+            headers={"Content-Type": "application/json"},
+        )
+        with pytest.raises(urllib.error.HTTPError) as err:
+            urllib.request.urlopen(req, timeout=10.0)
+        assert err.value.code == 400
+        assert json.loads(err.value.read())["error"]["code"] == "bad_request"
+
+
+# ------------------------------------------------- legacy aliases and pickle
+def test_legacy_aliases_carry_deprecation_header():
+    with AsyncExtractionServer(n_workers=1) as server:
+        for path, v1_path in (("/healthz", "/v1/healthz"), ("/stats", "/v1/stats")):
+            _, _, headers = get_json(server.url + path)
+            assert headers.get("Deprecation") == "true"
+            assert "successor-version" in headers.get("Link", "")
+            _, _, v1_headers = get_json(server.url + v1_path)
+            assert v1_headers.get("Deprecation") is None
+
+
+def test_legacy_pickle_endpoint_is_gone_by_default(dense_spec):
+    """The async front door answers 410 to /submit unless the operator
+    explicitly revived the pickle wire."""
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url, timeout_s=10.0) as client:
+            with pytest.raises(LegacyPickleDisabledError):
+                with pytest.warns(DeprecationWarning):
+                    client.submit_pickle(JobRequest(dense_spec, columns=(0,)))
+            stats = client.stats()
+            assert stats["frontdoor"]["legacy_pickle_submits"] == 0
+
+
+def test_legacy_pickle_endpoint_behind_explicit_optin(dense_spec):
+    with AsyncExtractionServer(n_workers=1, allow_legacy_pickle=True) as server:
+        with ServiceClient(server.url, timeout_s=30.0) as client:
+            with pytest.warns(DeprecationWarning):
+                job_id = client.submit_pickle(JobRequest(dense_spec, columns=(0,)))
+            snapshot = client.wait(job_id, timeout_s=30.0)
+            assert snapshot["status"] == JobState.DONE
+            assert client.stats()["frontdoor"]["legacy_pickle_submits"] == 1
+
+
+def test_legacy_result_alias_serves_nested_lists(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url, timeout_s=30.0) as client:
+            job_id = client.submit(JobRequest(dense_spec, columns=(0,)))
+            client.wait(job_id, timeout_s=30.0)
+        status, body, headers = get_json(
+            server.url + f"/result?job_id={job_id}&wait_s=5"
+        )
+        assert status == 200
+        assert headers.get("Deprecation") == "true"
+        assert isinstance(body["result"], list)  # the old nested-list shape
+
+
+# ------------------------------------------------------------------- client
+def test_client_context_manager_lifecycle(dense_spec):
+    with AsyncExtractionServer(n_workers=1) as server:
+        client = ServiceClient(server.url, timeout_s=10.0)
+        with client:
+            assert client.healthz()["ok"] is True
+        with pytest.raises(RuntimeError, match="closed"):
+            client.submit(JobRequest(dense_spec, columns=(0,)))
+        with pytest.raises(RuntimeError, match="closed"):
+            client.stream(JobRequest(dense_spec, columns=(0,)))
+
+
+def test_cancel_via_client(dense_spec):
+    scheduler = Scheduler(n_workers=1, autostart=False)
+    try:
+        with AsyncExtractionServer(scheduler=scheduler) as server:
+            client = ServiceClient(server.url, timeout_s=10.0)
+            job_id = client.submit(JobRequest(dense_spec, columns=(0,)))
+            assert client.cancel(job_id) is True
+            assert client.result(job_id)["status"] == JobState.CANCELLED
+    finally:
+        scheduler.close()

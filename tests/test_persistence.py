@@ -17,6 +17,8 @@ import pytest
 
 from repro.service import (
     ExtractionServer,
+    ServiceError,
+    UnknownJobError,
     Job,
     JobExpiredError,
     JobRequest,
@@ -294,9 +296,9 @@ def test_healthz_returns_503_when_unhealthy(bem_spec):
         client = ServiceClient(server.url)
         assert client.healthz()["ok"]
         sched.close()
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
+        with pytest.raises(ServiceError) as excinfo:
             client.healthz()
-        assert excinfo.value.code == 503
+        assert excinfo.value.status == 503
     finally:
         server.close()
         sched.close()
@@ -368,9 +370,9 @@ def test_http_410_for_expired_job(bem_spec):
         sched.step()
         with pytest.raises(JobExpiredError):
             client.result(first)
-        with pytest.raises(urllib.error.HTTPError) as excinfo:
+        with pytest.raises(UnknownJobError) as excinfo:
             client.result("job-999999")
-        assert excinfo.value.code == 404
+        assert excinfo.value.status == 404
     finally:
         server.close()
         sched.close()

@@ -222,6 +222,17 @@ HANDLER_GUARDED = """
 
     class Handler:
         def do_POST(self):
+            if not self._require_legacy_pickle_optin():
+                return
+            payload = pickle.loads(self.rfile.read(10))
+            self.respond(payload)
+"""
+
+HANDLER_OLD_GUARD = """
+    import pickle
+
+    class Handler:
+        def do_POST(self):
             if not self._require_trusted_peer():
                 return
             payload = pickle.loads(self.rfile.read(10))
@@ -242,9 +253,19 @@ def test_pickle_rule_quiet_in_allowlisted_and_dev_paths():
 
 
 def test_pickle_rule_requires_guard_in_server_handlers():
+    for server in (
+        "src/repro/service/server.py",
+        "src/repro/service/aserver.py",
+    ):
+        assert rules_of(lint(HANDLER_UNGUARDED, path=server)) == ["RP301"]
+        assert lint(HANDLER_GUARDED, path=server) == []
+
+
+def test_pickle_rule_rejects_the_retired_loopback_guard():
+    """The pre-/v1 guard name no longer counts: unpickling must sit behind
+    the explicit legacy opt-in gate, not just the loopback check."""
     server = "src/repro/service/server.py"
-    assert rules_of(lint(HANDLER_UNGUARDED, path=server)) == ["RP301"]
-    assert lint(HANDLER_GUARDED, path=server) == []
+    assert rules_of(lint(HANDLER_OLD_GUARD, path=server)) == ["RP301"]
 
 
 def test_pickle_rule_sees_through_import_aliases():

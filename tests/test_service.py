@@ -15,6 +15,7 @@ from repro.service import (
     ResultStore,
     Scheduler,
     ServiceClient,
+    UnknownJobError,
 )
 from repro.service.metrics import ServiceMetrics, latency_percentiles
 from repro.substrate.extraction import extract_columns
@@ -387,10 +388,11 @@ def test_http_error_paths(dense_spec):
 
     with ExtractionServer(n_workers=1) as server:
         client = ServiceClient(server.url, timeout_s=10.0)
-        # unknown job id -> 404
-        with pytest.raises(urllib.error.HTTPError) as err:
+        # unknown job id -> 404, typed (and a KeyError, like the scheduler)
+        with pytest.raises(UnknownJobError) as err:
             client.result("job-999999")
-        assert err.value.code == 404
+        assert err.value.status == 404
+        assert isinstance(err.value, KeyError)
         # malformed submit payload -> 400
         request = urllib.request.Request(
             server.url + "/submit",

@@ -3,10 +3,14 @@
 ``pickle.loads``/``pickle.load`` executes arbitrary code from its input,
 so call sites are confined to an explicit allowlist (journal replay in
 ``persistence.py``, worker-spec shipping in ``parallel.py``, developer-run
-code under ``tests/``/``benchmarks/``/``examples/``).  ``server.py`` is a
-special case: its request handlers may unpickle, but only after the
-documented loopback guard (``_require_trusted_peer``) ran earlier in the
-same handler function.
+code under ``tests/``/``benchmarks/``/``examples/``).  The two HTTP front
+ends (``server.py``, ``aserver.py``) are a special case: their request
+handlers may unpickle, but only after the documented legacy opt-in gate
+(``_require_legacy_pickle_optin``) ran earlier in the same handler
+function — the gate that answers 410 unless the operator explicitly
+revived the deprecated pickle endpoint, and 403 for non-loopback peers
+even then.  The schema-first ``/v1`` wire (``wire.py``) needs no pickle
+at all, which is why anything new should grow there instead.
 """
 
 from __future__ import annotations
@@ -29,11 +33,14 @@ ALLOWLIST: tuple[str, ...] = (
 #: directory prefixes treated as developer-run (never service-reachable)
 DEV_DIRS: tuple[str, ...] = ("tests", "benchmarks", "examples")
 
-#: files whose handlers may unpickle *behind the loopback guard*
-GUARDED_FILES: tuple[str, ...] = ("repro/service/server.py",)
+#: files whose handlers may unpickle *behind the legacy opt-in gate*
+GUARDED_FILES: tuple[str, ...] = (
+    "repro/service/server.py",
+    "repro/service/aserver.py",
+)
 
 #: a call to any of these names counts as the guard
-GUARD_NAMES: frozenset[str] = frozenset({"_require_trusted_peer"})
+GUARD_NAMES: frozenset[str] = frozenset({"_require_legacy_pickle_optin"})
 
 
 def _classify_path(path: str) -> str:
@@ -138,7 +145,7 @@ def check_pickles(
                     node.col_offset + 1,
                     "RP301",
                     "handler unpickles without calling "
-                    "_require_trusted_peer() first",
+                    "_require_legacy_pickle_optin() first",
                 )
             )
         else:

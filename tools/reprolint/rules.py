@@ -143,18 +143,25 @@ genuinely is a trust boundary — extend the allowlist in
 ``tools/reprolint/pickles.py`` in the same change that documents why.""",
     },
     "RP301": {
-        "title": "request handler unpickles without the loopback guard",
+        "title": "request handler unpickles without the legacy opt-in gate",
         "explain": """\
-``server.py`` accepts pickled job requests over HTTP, which is remote code
-execution for whoever can reach the socket.  The documented containment is
-the loopback guard: every handler path that reaches ``pickle.loads`` must
-first call ``_require_trusted_peer()`` (which refuses non-loopback peers
-with a 403 unless the operator explicitly opted out).
+The deprecated ``/submit`` endpoint accepts pickled job requests over
+HTTP, which is remote code execution for whoever can reach the socket.
+The schema-first ``/v1`` wire needs no pickle at all, so the documented
+containment is now twofold, and both layers live in one gate: every
+handler path that reaches ``pickle.loads`` must first call
+``_require_legacy_pickle_optin()``, which (a) answers 410 unless the
+operator explicitly revived the legacy pickle endpoint at construction
+(``allow_legacy_pickle`` / ``--allow-legacy-pickle``), and (b) even then
+refuses non-loopback peers with a 403 unless the remote-pickle override
+was also set.
 
-This rule fires when a handler function in ``server.py`` calls
-``pickle.loads`` without a lexically earlier ``_require_trusted_peer``
-call in the same function — i.e. when someone adds a new pickle-carrying
-endpoint and forgets the guard.""",
+This rule fires when a handler function in ``server.py`` or ``aserver.py``
+calls ``pickle.loads`` without a lexically earlier
+``_require_legacy_pickle_optin`` call in the same function — i.e. when
+someone adds a new pickle-carrying endpoint and forgets the gate.  New
+endpoints should speak the declarative wire schema instead
+(``repro/service/wire.py``), which this rule never fires on.""",
     },
     "RS400": {
         "title": "suppression without a reason",
