@@ -1,0 +1,211 @@
+"""Cluster membership: which worker hosts exist, and which are alive.
+
+The leader's :class:`HostRegistry` is the single source of truth the router
+consults.  A worker enters by registering (worker id + base URL) and stays
+live by heartbeating inside its lease; expiry is evaluated **lazily on
+read** — :meth:`live` sweeps overdue hosts into the dead set as it answers,
+so no timer thread races the dispatcher.  A host leaves three ways:
+
+* **lease expiry** — no heartbeat for ``lease_s`` seconds;
+* **marked dead** — the leader's RPC layer hit a transport failure talking
+  to it (a refused/reset/timed-out solve call is better evidence than any
+  heartbeat, so it takes effect immediately);
+* **draining** — the host asked to be excluded from *new* fingerprint
+  placements (it keeps serving what it holds until its groups move).
+
+A dead host that registers again is resurrected with a clean record — the
+worker process restarting is the normal recovery path, and its heartbeats
+re-earn the lease.  Every membership change lands in a bounded event log
+(``info()["events"]``) for operators.
+
+Thread-safety: one lock over all state; every public method is safe to
+call from the HTTP executor threads and the dispatcher concurrently.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+
+__all__ = ["HostRecord", "HostRegistry"]
+
+#: membership events kept for operators (each: time, kind, worker_id, detail)
+EVENT_LOG_LIMIT = 256
+
+
+@dataclass
+class HostRecord:
+    """One worker host as the leader sees it."""
+
+    worker_id: str
+    url: str
+    registered_at: float
+    last_heartbeat: float
+    lease_s: float
+    draining: bool = False
+    heartbeats: int = 0
+    #: the latest heartbeat's load/warm-state fields (queue depth, engines,
+    #: per-fingerprint store occupancy) — placement reads these
+    stats: dict = field(default_factory=dict)
+
+    def expired(self, now: float) -> bool:
+        return now - self.last_heartbeat > self.lease_s
+
+    @property
+    def queue_depth(self) -> int:
+        return int(self.stats.get("queue_depth") or 0)
+
+    def info(self) -> dict:
+        return {
+            "worker_id": self.worker_id,
+            "url": self.url,
+            "draining": self.draining,
+            "heartbeats": self.heartbeats,
+            "lease_s": self.lease_s,
+            "age_s": max(time.monotonic() - self.registered_at, 0.0),
+            "since_heartbeat_s": max(time.monotonic() - self.last_heartbeat, 0.0),
+            "queue_depth": self.queue_depth,
+            "stats": self.stats,
+        }
+
+
+class HostRegistry:
+    """Leader-side membership table with heartbeat leases (see module doc)."""
+
+    def __init__(self, lease_s: float = 10.0) -> None:
+        if lease_s <= 0:
+            raise ValueError("lease_s must be positive")
+        self.lease_s = float(lease_s)
+        self._lock = threading.Lock()
+        # reprolint: guarded-by(_lock)
+        self._hosts: dict[str, HostRecord] = {}
+        #: dead worker_id -> reason (expired lease, transport failure)
+        self._dead: dict[str, str] = {}  # reprolint: guarded-by(_lock)
+        self._events: "deque[dict]" = deque(maxlen=EVENT_LOG_LIMIT)  # reprolint: guarded-by(_lock)
+        self.registrations = 0  # reprolint: guarded-by(_lock)
+        self.expirations = 0  # reprolint: guarded-by(_lock)
+        self.deaths = 0  # reprolint: guarded-by(_lock)
+
+    # reprolint: holds(_lock)
+    def _log_locked(self, kind: str, worker_id: str, detail: str = "") -> None:
+        self._events.append(
+            {
+                "t": time.time(),
+                "kind": kind,
+                "worker_id": worker_id,
+                "detail": detail,
+            }
+        )
+
+    # reprolint: holds(_lock)
+    def _sweep_locked(self, now: float) -> None:
+        """Move lease-expired hosts to the dead set (lazy, on every read)."""
+        for worker_id in [w for w, h in self._hosts.items() if h.expired(now)]:
+            host = self._hosts.pop(worker_id)
+            self._dead[worker_id] = "lease expired"
+            self.expirations += 1
+            self._log_locked(
+                "expired",
+                worker_id,
+                f"no heartbeat for {now - host.last_heartbeat:.1f}s "
+                f"(lease {host.lease_s:g}s)",
+            )
+
+    # ------------------------------------------------------------- membership
+    def register(self, worker_id: str, url: str) -> HostRecord:
+        """Admit (or resurrect, or refresh) one worker host."""
+        now = time.monotonic()
+        with self._lock:
+            self._dead.pop(worker_id, None)
+            record = self._hosts.get(worker_id)
+            if record is None:
+                record = self._hosts[worker_id] = HostRecord(
+                    worker_id=worker_id,
+                    url=url.rstrip("/"),
+                    registered_at=now,
+                    last_heartbeat=now,
+                    lease_s=self.lease_s,
+                )
+                self.registrations += 1
+                self._log_locked("registered", worker_id, url)
+            else:
+                # re-registration refreshes the lease and may move the URL
+                # (a worker restarted on a new port keeps its identity)
+                record.url = url.rstrip("/")
+                record.last_heartbeat = now
+                record.draining = False
+                self._log_locked("re-registered", worker_id, url)
+            return record
+
+    def heartbeat(self, worker_id: str, stats: dict) -> bool:
+        """Renew one host's lease with its latest report.
+
+        Returns ``False`` for a host this registry does not hold live —
+        the worker should re-register (the leader may have restarted, or
+        the lease may have expired while the worker was wedged).
+        """
+        now = time.monotonic()
+        with self._lock:
+            self._sweep_locked(now)
+            record = self._hosts.get(worker_id)
+            if record is None:
+                return False
+            record.last_heartbeat = now
+            record.heartbeats += 1
+            record.draining = bool(stats.get("draining"))
+            record.stats = stats
+            return True
+
+    def mark_dead(self, worker_id: str, reason: str) -> bool:
+        """Evict one host immediately (the RPC layer saw it fail)."""
+        with self._lock:
+            host = self._hosts.pop(worker_id, None)
+            if host is None:
+                return False
+            self._dead[worker_id] = reason
+            self.deaths += 1
+            self._log_locked("dead", worker_id, reason)
+            return True
+
+    def drain(self, worker_id: str, draining: bool = True) -> bool:
+        """Flip one host's draining flag; False when the host is not live."""
+        with self._lock:
+            host = self._hosts.get(worker_id)
+            if host is None:
+                return False
+            host.draining = bool(draining)
+            self._log_locked("draining" if draining else "undraining", worker_id)
+            return True
+
+    # ---------------------------------------------------------------- queries
+    def live(self, now: float | None = None) -> list[HostRecord]:
+        """Every host currently inside its lease (sweeps expired ones)."""
+        now = time.monotonic() if now is None else now
+        with self._lock:
+            self._sweep_locked(now)
+            return list(self._hosts.values())
+
+    def get(self, worker_id: str) -> HostRecord | None:
+        with self._lock:
+            self._sweep_locked(time.monotonic())
+            return self._hosts.get(worker_id)
+
+    def dead(self) -> dict[str, str]:
+        """``{worker_id: reason}`` of hosts that left involuntarily."""
+        with self._lock:
+            return dict(self._dead)
+
+    def info(self) -> dict:
+        """Operator view: hosts, dead set, counters, recent events."""
+        hosts = self.live()
+        with self._lock:
+            return {
+                "hosts": [h.info() for h in hosts],
+                "dead": dict(self._dead),
+                "registrations": self.registrations,
+                "expirations": self.expirations,
+                "deaths": self.deaths,
+                "events": list(self._events),
+            }

@@ -13,25 +13,37 @@ differently.
 
 Sites wired in this package:
 
-==================  =========================================================
-site                where it fires
-==================  =========================================================
-``worker.solve``    in a pool worker, at the top of a ``solve_many`` shard
-                    (context: ``start``, ``width``) — ``kill`` here breaks
-                    the process pool mid-block
-``factor.build``    in the scheduler, before an extraction engine is built
-                    for a fingerprint group (context: ``kind``)
-``shm.attach``      at the top of
-                    :func:`~repro.substrate.factor_cache.attach_shared_factor`
-                    — ``raise`` here simulates a torn/corrupt segment
-``sqlite.write``    in :meth:`SqliteResultBackend.save
-                    <repro.service.persistence.SqliteResultBackend.save>`
-                    (context: ``op``) — ``delay`` or ``raise`` a durable
-                    column write
-``dispatch.cycle``  at the top of :meth:`Scheduler.step
-                    <repro.service.scheduler.Scheduler.step>` — ``drop``
-                    skips the drain cycle, leaving the queue untouched
-==================  =========================================================
+====================  =========================================================
+site                  where it fires
+====================  =========================================================
+``worker.solve``      in a pool worker, at the top of a ``solve_many`` shard
+                      (context: ``start``, ``width``) — ``kill`` here breaks
+                      the process pool mid-block
+``factor.build``      in the scheduler, before an extraction engine is built
+                      for a fingerprint group (context: ``kind``)
+``shm.attach``        at the top of
+                      :func:`~repro.substrate.factor_cache.attach_shared_factor`
+                      — ``raise`` here simulates a torn/corrupt segment
+``sqlite.write``      in :meth:`SqliteResultBackend.save
+                      <repro.service.persistence.SqliteResultBackend.save>`
+                      (context: ``op``) — ``delay`` or ``raise`` a durable
+                      column write
+``dispatch.cycle``    at the top of :meth:`Scheduler.step
+                      <repro.service.scheduler.Scheduler.step>` — ``drop``
+                      skips the drain cycle, leaving the queue untouched
+``rpc.send``          in the cluster leader, before each solve RPC to a
+                      worker host (context: ``worker_id``) — ``raise`` here
+                      simulates a network partition, exercising dead-host
+                      marking and fingerprint re-routing
+``rpc.serve``         in a cluster worker, at the top of the
+                      ``/v1/cluster/solve`` handler (context: ``worker_id``)
+                      — ``kill`` here is the chaos benchmark's host death:
+                      the worker dies holding a routed group
+``worker.heartbeat``  in a cluster worker's heartbeat thread, before each
+                      report to the leader (context: ``worker_id``) —
+                      ``drop`` suppresses heartbeats until the lease
+                      expires, simulating a hung-but-listening host
+====================  =========================================================
 
 A plan is a list of :class:`FaultSpec` entries.  Each names its site, an
 ``action`` (``raise`` / ``kill`` / ``delay`` / ``drop``), how often it fires

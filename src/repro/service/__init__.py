@@ -76,6 +76,7 @@ from .wire import (
     LegacyPickleDisabledError,
     ServiceError,
     ServiceUnavailableError,
+    UnauthorizedError,
     UnknownJobError,
     WireFormatError,
     request_from_wire,
@@ -107,6 +108,7 @@ __all__ = [
     "BadRequestError",
     "UnknownJobError",
     "ServiceUnavailableError",
+    "UnauthorizedError",
     "LegacyPickleDisabledError",
     "WireFormatError",
     "request_to_wire",

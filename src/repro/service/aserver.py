@@ -50,6 +50,7 @@ from __future__ import annotations
 import argparse
 import asyncio
 import base64
+import hmac
 import json
 import os
 import pickle
@@ -82,6 +83,7 @@ _REASONS = {
     200: "OK",
     202: "Accepted",
     400: "Bad Request",
+    401: "Unauthorized",
     403: "Forbidden",
     404: "Not Found",
     405: "Method Not Allowed",
@@ -212,6 +214,17 @@ class AsyncExtractionServer:
     ``allow_untrusted_pickle`` additionally lifts its loopback-only guard,
     ``pair_window_s`` / ``pair_max_batch`` tune the ``/v1/pairs``
     micro-batcher, and ``result_timeout_s`` bounds server-side waits.
+
+    ``auth_token`` turns on bearer-token auth: every request must carry
+    ``Authorization: Bearer <token>`` or is answered 401 with the standard
+    error envelope (code ``unauthorized``) — except the health probes
+    (``/v1/healthz`` and its legacy alias), which stay open so liveness
+    checks need no credentials.  The cluster's leader→worker RPCs reuse
+    the same token.  The legacy threaded server has no auth — front any
+    pickle-era deployment with this server instead.
+
+    Extra endpoints (the cluster's register/heartbeat/solve RPCs) hang off
+    :meth:`add_json_route` rather than subclass surgery on the dispatcher.
     """
 
     def __init__(
@@ -224,6 +237,7 @@ class AsyncExtractionServer:
         pair_window_s: float = 0.02,
         pair_max_batch: int = 64,
         result_timeout_s: float = 300.0,
+        auth_token: str | None = None,
         **scheduler_kwargs,
     ) -> None:
         self.scheduler = scheduler if scheduler is not None else Scheduler(**scheduler_kwargs)
@@ -234,6 +248,10 @@ class AsyncExtractionServer:
         self.pair_window_s = float(pair_window_s)
         self.pair_max_batch = int(pair_max_batch)
         self.result_timeout_s = float(result_timeout_s)
+        self.auth_token = auth_token
+        #: ``(method, path) -> async handler(request, writer)`` consulted
+        #: after auth but before the built-in routes; see add_json_route
+        self._extra_routes: dict = {}
         self._host: str | None = None
         self._port: int | None = None
         self._loop: asyncio.AbstractEventLoop | None = None
@@ -392,10 +410,56 @@ class AsyncExtractionServer:
         )
 
     # ---------------------------------------------------------------- routing
+    def add_json_route(self, method: str, path: str, handler) -> None:
+        """Register one extra JSON endpoint on this server.
+
+        ``handler(doc)`` receives the parsed JSON body (``{}`` for GETs)
+        and returns the transport-agnostic ``(status, payload, headers)``
+        route result — the same contract as the :mod:`~repro.service.wire`
+        route helpers.  It runs in the executor, so it may block on the
+        scheduler.  Registered routes sit behind the bearer-token check
+        like every built-in endpoint.
+        """
+        async def route(request, writer: asyncio.StreamWriter) -> None:
+            _method, _path, _query, _headers, body = request
+            doc = self._parse_json(body)
+            if doc is None:
+                await self._send_error(writer, 400, "bad_request", "body is not JSON")
+                return
+            loop = asyncio.get_running_loop()
+            status, payload, extra = await loop.run_in_executor(None, handler, doc)
+            await self._send_json(writer, status, payload, headers=extra)
+
+        self._extra_routes[(method.upper(), path)] = route
+
+    def _authorized(self, path: str, headers: dict) -> bool:
+        """Bearer-token check; health probes stay open (liveness needs no key)."""
+        if self.auth_token is None or path in ("/v1/healthz", "/healthz"):
+            return True
+        supplied = headers.get("authorization", "")
+        scheme, _, token = supplied.partition(" ")
+        return scheme.lower() == "bearer" and hmac.compare_digest(
+            token.strip(), self.auth_token
+        )
+
     async def _dispatch(self, request, writer: asyncio.StreamWriter) -> None:
-        method, path, query, _headers, body = request
+        method, path, query, headers, body = request
         loop = asyncio.get_running_loop()
         scheduler = self.scheduler
+
+        if not self._authorized(path, headers):
+            await self._send_error(
+                writer, 401, "unauthorized", "missing or invalid bearer token"
+            )
+            return
+
+        extra_route = self._extra_routes.get((method, path))
+        if extra_route is not None:
+            await extra_route(request, writer)
+            return
+        if any(route_path == path for _m, route_path in self._extra_routes):
+            await self._method_not_allowed(writer, method, path)
+            return
 
         if path in ("/v1/healthz", "/healthz"):
             if method != "GET":
@@ -865,6 +929,14 @@ def main(argv: list[str] | None = None) -> None:
         help="seconds /v1/pairs holds small pair queries for micro-batching",
     )
     parser.add_argument(
+        "--auth-token",
+        default=None,
+        help=(
+            "bearer token required on every /v1 request except the health "
+            "probe (env: REPRO_AUTH_TOKEN); omit both for an open server"
+        ),
+    )
+    parser.add_argument(
         "--faults",
         default=None,
         help=(
@@ -896,6 +968,12 @@ def main(argv: list[str] | None = None) -> None:
         help="run the deprecated threaded pickle-era server instead of /v1",
     )
     args = parser.parse_args(argv)
+    auth_token = args.auth_token or os.environ.get("REPRO_AUTH_TOKEN") or None
+    if auth_token and args.legacy_sync_server:
+        parser.error(
+            "--auth-token is served by the /v1 async front door only; "
+            "the legacy sync server has no auth"
+        )
 
     from .result_store import ResultStore
 
@@ -943,6 +1021,7 @@ def main(argv: list[str] | None = None) -> None:
         allow_legacy_pickle=args.allow_legacy_pickle or args.unsafe_allow_remote_pickle,
         allow_untrusted_pickle=args.unsafe_allow_remote_pickle,
         pair_window_s=args.pair_window,
+        auth_token=auth_token,
         **scheduler_kwargs,
     )
     server.start()

@@ -43,8 +43,10 @@ from urllib.request import Request, urlopen
 import numpy as np
 
 from .jobs import JobRequest, JobState
+from .scheduler import QueueSaturatedError
 from .wire import (
     SCHEMA_VERSION,
+    ServiceUnavailableError,
     decode_array,
     raise_for_envelope,
     request_to_wire,
@@ -66,11 +68,37 @@ def _decode_snapshot(snapshot: dict) -> dict:
 
 
 class ServiceClient:
-    """Blocking client of one extraction service (see module docstring)."""
+    """Blocking client of one extraction service (see module docstring).
 
-    def __init__(self, url: str, timeout_s: float = 30.0) -> None:
+    ``auth_token`` sends ``Authorization: Bearer <token>`` on every request
+    (required against a server started with ``--auth-token``).
+
+    ``retries`` opts into bounded client-side backoff: a 429
+    (:class:`~repro.service.scheduler.QueueSaturatedError`) or 503
+    (:class:`~repro.service.wire.ServiceUnavailableError`) answer is
+    retried up to that many times, sleeping the server's ``Retry-After``
+    hint (capped at ``retry_cap_s``) between attempts, instead of raising
+    immediately.  The default ``retries=0`` keeps the raise-immediately
+    behaviour.  Retries cover the request/response methods only —
+    :meth:`stream` opens a long-lived connection and is never retried
+    (replaying it could resubmit already-accepted jobs).
+    """
+
+    def __init__(
+        self,
+        url: str,
+        timeout_s: float = 30.0,
+        auth_token: str | None = None,
+        retries: int = 0,
+        retry_cap_s: float = 30.0,
+    ) -> None:
         self.url = url.rstrip("/")
         self.timeout_s = float(timeout_s)
+        self.auth_token = auth_token
+        if retries < 0:
+            raise ValueError("retries must be non-negative")
+        self.retries = int(retries)
+        self.retry_cap_s = float(retry_cap_s)
         self._closed = False
 
     # ------------------------------------------------------------- lifecycle
@@ -90,7 +118,15 @@ class ServiceClient:
         self.close()
 
     # ------------------------------------------------------------------ http
-    def _request(
+    def _headers(self, has_body: bool) -> dict[str, str]:
+        headers: dict[str, str] = {}
+        if has_body:
+            headers["Content-Type"] = "application/json"
+        if self.auth_token:
+            headers["Authorization"] = f"Bearer {self.auth_token}"
+        return headers
+
+    def _request_once(
         self,
         method: str,
         path: str,
@@ -104,7 +140,7 @@ class ServiceClient:
             self.url + path,
             data=body,
             method=method,
-            headers={"Content-Type": "application/json"} if body else {},
+            headers=self._headers(body is not None),
         )
         timeout = timeout_s if timeout_s is not None else self.timeout_s
         try:
@@ -118,6 +154,31 @@ class ServiceClient:
                 error_doc = payload.decode("utf-8", errors="replace") or f"HTTP {exc.code}"
             raise_for_envelope(exc.code, error_doc)
             raise  # pragma: no cover - raise_for_envelope always raises
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        doc: dict | None = None,
+        timeout_s: float | None = None,
+    ) -> dict:
+        """One request, honoring ``Retry-After`` on 429/503 up to ``retries``.
+
+        Only admission-control refusals retry — the server said "come back
+        later", and both paths are idempotent to repeat because the refused
+        attempt changed no server state.  Everything else raises as before.
+        """
+        for attempt in range(self.retries + 1):
+            try:
+                return self._request_once(method, path, doc, timeout_s)
+            except (QueueSaturatedError, ServiceUnavailableError) as exc:
+                if attempt >= self.retries:
+                    raise
+                hint = getattr(exc, "retry_after_s", None)
+                if hint is None:
+                    hint = getattr(exc, "retry_after", None)
+                time.sleep(min(float(hint or 1.0), self.retry_cap_s))
+        raise AssertionError("unreachable")  # pragma: no cover
 
     # ------------------------------------------------------------------- api
     def submit(self, request: JobRequest) -> str:
@@ -221,7 +282,7 @@ class ServiceClient:
             self.url + "/v1/stream",
             data=body,
             method="POST",
-            headers={"Content-Type": "application/json"},
+            headers=self._headers(True),
         )
         try:
             response = urlopen(

@@ -35,7 +35,6 @@ before — no files are touched, no counters change.
 from __future__ import annotations
 
 import base64
-import hashlib
 import json
 import os
 import pickle
@@ -51,16 +50,12 @@ from ..faults import fault_hook
 from ..substrate.factor_cache import FactorArtifactStore
 from ..substrate.tiled import set_default_scratch_dir, tiled_scratch_dir
 from .jobs import JobRequest
+from .result_store import fingerprint_digest as _fingerprint_digest
 
 __all__ = ["ServicePersistence", "SqliteResultBackend", "JobJournal"]
 
 #: scheduler job-id format; the journal recovers the sequence counter from it
 _JOB_ID_RE = re.compile(r"^job-(\d+)$")
-
-
-def _fingerprint_digest(fingerprint: tuple) -> str:
-    """Stable text key of one substrate fingerprint (sqlite column value)."""
-    return hashlib.blake2b(repr(fingerprint).encode(), digest_size=16).hexdigest()
 
 
 class SqliteResultBackend:

@@ -26,6 +26,7 @@ Environment knob: ``REPRO_RESULT_STORE_BYTES`` overrides the default budget
 
 from __future__ import annotations
 
+import hashlib
 import os
 import threading
 import warnings
@@ -33,9 +34,25 @@ from collections import OrderedDict
 
 import numpy as np
 
-__all__ = ["ResultStore", "DEFAULT_STORE_BYTES", "default_store_bytes"]
+__all__ = [
+    "ResultStore",
+    "DEFAULT_STORE_BYTES",
+    "default_store_bytes",
+    "fingerprint_digest",
+]
 
 DEFAULT_STORE_BYTES = 256 * 1024 * 1024
+
+
+def fingerprint_digest(fingerprint: tuple) -> str:
+    """Stable text key of one substrate fingerprint.
+
+    Fingerprints are nested tuples of plain values, so ``repr`` is a
+    canonical serialisation; the digest is what crosses JSON boundaries
+    (``/v1/stats``, cluster heartbeats) and keys sqlite rows — anywhere the
+    tuple itself cannot travel.
+    """
+    return hashlib.blake2b(repr(fingerprint).encode(), digest_size=16).hexdigest()
 
 
 def default_store_bytes() -> int:
@@ -240,6 +257,22 @@ class ResultStore:
         with self._lock:
             return len(self._columns)
 
+    def fingerprints(self) -> dict[tuple, dict]:
+        """Per-substrate RAM occupancy: ``{fingerprint: {"columns", "bytes"}}``.
+
+        This is where warm state lives — the cluster leader reads it (via
+        worker heartbeats) to place unpinned fingerprints on hosts that
+        already hold their columns, and operators read the digest-keyed
+        rendering in ``/v1/stats``.
+        """
+        with self._lock:
+            out: dict[tuple, dict] = {}
+            for (fingerprint, _column), values in self._columns.items():
+                entry = out.setdefault(fingerprint, {"columns": 0, "bytes": 0})
+                entry["columns"] += 1
+                entry["bytes"] += values.nbytes
+            return out
+
     def info(self) -> dict:
         """Occupancy and hit/miss counters (service metrics / benchmarks)."""
         with self._lock:
@@ -255,6 +288,12 @@ class ResultStore:
                 "backend_errors": self.backend_errors,
             }
             backend = self._backend
+        doc["fingerprints"] = [
+            {"digest": fingerprint_digest(fp), **entry}
+            for fp, entry in sorted(
+                self.fingerprints().items(), key=lambda kv: -kv[1]["bytes"]
+            )
+        ]
         if backend is not None:
             doc["backend"] = backend.info()
         return doc

@@ -61,6 +61,7 @@ import threading
 import time
 import traceback
 from collections import OrderedDict, deque
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Iterable
 
@@ -348,6 +349,30 @@ class Scheduler:
         Per-fingerprint :class:`CircuitBreaker` tuning: consecutive failed
         *attempts* before the fingerprint's groups are rejected instantly,
         and how long the breaker stays open before a half-open probe.
+    remote_solver:
+        When given, a callable ``(fingerprint, spec, columns) -> (n, k)
+        block`` that replaces the local engine path of
+        :meth:`_solve_group` — the cluster leader plugs its
+        route-and-RPC here, so coalescing, the result store, journaling,
+        retry/backoff and the per-fingerprint breakers all wrap remote
+        work unchanged.  A raising remote solver is retried exactly like
+        a failing local batch (that retry *is* the cluster's failover
+        path).  Columns solved remotely count in
+        ``remote_columns_solved``, never in ``attributed_solves`` — a
+        leader runs zero local solves.
+    stats_extra:
+        Optional zero-argument callable whose dict result is merged into
+        the ``/stats`` body (the leader injects its registry/router view).
+    group_concurrency:
+        How many fingerprint groups one drain cycle may solve at once.
+        The default ``1`` keeps the classic single-host behaviour (groups
+        run sequentially in the dispatcher thread).  The cluster leader
+        raises it so groups routed to *different* worker hosts solve in
+        parallel — with remote solves the dispatcher thread is just
+        waiting on RPCs, and serialising them would cap the cluster at
+        single-host throughput.  Each group still runs on exactly one
+        thread, so per-fingerprint state (its breaker, its engine) keeps
+        its single-threaded discipline.
     """
 
     def __init__(
@@ -366,6 +391,9 @@ class Scheduler:
         max_queue_depth: int | None = None,
         breaker_failure_threshold: int = 3,
         breaker_reset_s: float = 30.0,
+        remote_solver=None,
+        stats_extra=None,
+        group_concurrency: int = 1,
     ) -> None:
         self._owns_persistence = persistence is not None and not isinstance(
             persistence, ServicePersistence
@@ -392,8 +420,9 @@ class Scheduler:
         self.max_queue_depth = max_queue_depth
         self._breaker_failure_threshold = int(breaker_failure_threshold)
         self._breaker_reset_s = float(breaker_reset_s)
-        #: per-fingerprint failure latches, touched by the dispatcher only
-        self._breakers: dict[tuple, CircuitBreaker] = {}
+        #: per-fingerprint failure latches; the table is guarded by _cv, each
+        #: breaker is touched by the one thread running its group's batch
+        self._breakers: dict[tuple, CircuitBreaker] = {}  # reprolint: guarded-by(_cv)
         self._jobs: dict[str, Job] = {}  # reprolint: guarded-by(_cv)
         #: per-job progress callbacks (streaming); popped on terminal events
         self._watchers: dict[str, list] = {}  # reprolint: guarded-by(_cv)
@@ -411,6 +440,22 @@ class Scheduler:
         #: cumulative CountingSolver attribution of every batch this
         #: scheduler ran (equals fresh columns solved; pinned by tests)
         self.attributed_solves = 0  # reprolint: guarded-by(_cv)
+        self._remote_solver = remote_solver
+        self._stats_extra = stats_extra
+        #: columns delegated to the remote solver (cluster leader mode);
+        #: disjoint from attributed_solves by construction
+        self.remote_columns_solved = 0  # reprolint: guarded-by(_cv)
+        if group_concurrency < 1:
+            raise ValueError("group_concurrency must be at least 1")
+        self._group_concurrency = int(group_concurrency)
+        self._group_executor = (
+            ThreadPoolExecutor(
+                max_workers=self._group_concurrency,
+                thread_name_prefix="repro-service-group",
+            )
+            if self._group_concurrency > 1
+            else None
+        )
         self._attached_artifacts = False
         if self.persistence is not None:
             self.store.attach_backend(self.persistence.results)
@@ -623,12 +668,17 @@ class Scheduler:
             queue_depth = len(self._pending)
             running = self._running
             attributed_solves = self.attributed_solves
+            remote_columns_solved = self.remote_columns_solved
         extra = {
             "engines": self.pool.info(),
             "attributed_solves": attributed_solves,
         }
+        if self._remote_solver is not None:
+            extra["remote_columns_solved"] = remote_columns_solved
         if self.persistence is not None:
             extra["persistence"] = self.persistence.info()
+        if self._stats_extra is not None:
+            extra.update(self._stats_extra())
         return self.metrics.snapshot(
             queue_depth=queue_depth,
             store_info=self.store.info(),
@@ -647,6 +697,9 @@ class Scheduler:
         """
         with self._cv:
             closing = self._closing
+            open_breakers = sum(
+                1 for b in self._breakers.values() if b.state != "closed"
+            )
         thread = self._thread
         dispatcher_alive = thread.is_alive() if thread is not None else not closing
         doc = {
@@ -655,9 +708,7 @@ class Scheduler:
             "closing": closing,
             # degraded-but-alive detail: open breakers and the resilience
             # counters do not flip ok — the service still makes progress
-            "open_breakers": sum(
-                1 for b in self._breakers.values() if b.state != "closed"
-            ),
+            "open_breakers": open_breakers,
             "faults": self.metrics.fault_counters(),
         }
         if self.persistence is not None:
@@ -696,6 +747,8 @@ class Scheduler:
             if self._thread.is_alive():  # pragma: no cover - stuck batch
                 return
             self._thread = None
+        if self._group_executor is not None:
+            self._group_executor.shutdown(wait=True)
         self.pool.close()
         if self.persistence is not None:
             if self._attached_artifacts:
@@ -768,10 +821,20 @@ class Scheduler:
             ordered = sorted(
                 groups.items(), key=lambda kv: -max(j.priority for j in kv[1])
             )
-            served = 0
-            for fingerprint, group in ordered:
-                self._run_batch(fingerprint, group)
-                served += len(group)
+            served = sum(len(group) for _, group in ordered)
+            if self._group_executor is not None and len(ordered) > 1:
+                # fan groups out (the leader's remote solves overlap across
+                # hosts); each group still runs on exactly one thread, and
+                # _drain_lock keeps cycles from overlapping each other
+                futures = [
+                    self._group_executor.submit(self._run_batch, fp, group)
+                    for fp, group in ordered
+                ]
+                for future in futures:
+                    future.result()  # _run_batch never raises; surface bugs
+            else:
+                for fingerprint, group in ordered:
+                    self._run_batch(fingerprint, group)
             return served
 
     # -------------------------------------------------------------- streaming
@@ -815,13 +878,14 @@ class Scheduler:
 
     # ------------------------------------------------------------------ batch
     def _breaker_for(self, fingerprint: tuple) -> CircuitBreaker:
-        breaker = self._breakers.get(fingerprint)
-        if breaker is None:
-            breaker = self._breakers[fingerprint] = CircuitBreaker(
-                failure_threshold=self._breaker_failure_threshold,
-                reset_s=self._breaker_reset_s,
-            )
-        return breaker
+        with self._cv:
+            breaker = self._breakers.get(fingerprint)
+            if breaker is None:
+                breaker = self._breakers[fingerprint] = CircuitBreaker(
+                    failure_threshold=self._breaker_failure_threshold,
+                    reset_s=self._breaker_reset_s,
+                )
+            return breaker
 
     def _run_batch(self, fingerprint: tuple, jobs: list[Job]) -> None:
         """Solve one coalesced group, retrying failed attempts with backoff.
@@ -912,7 +976,27 @@ class Scheduler:
         # paid for sees them before this batch solves anything
         self._notify_columns(jobs, columns, source="store")
         stats_delta = None
-        if to_solve:
+        if to_solve and self._remote_solver is not None:
+            block = np.asarray(
+                self._remote_solver(
+                    fingerprint, jobs[0].request.effective_spec, to_solve
+                ),
+                dtype=float,
+            )
+            expected = (jobs[0].request.n_contacts, len(to_solve))
+            if block.shape != expected:
+                raise RuntimeError(
+                    f"remote solver returned shape {block.shape}, "
+                    f"expected {expected}"
+                )
+            with self._cv:
+                self.remote_columns_solved += len(to_solve)
+            for idx, column in enumerate(to_solve):
+                columns[column] = self.store.put(fingerprint, column, block[:, idx])
+            self._notify_columns(
+                jobs, {c: columns[c] for c in to_solve}, source="solve"
+            )
+        elif to_solve:
             engine = self.pool.get(fingerprint, jobs[0].request.effective_spec)
             counting = CountingSolver(engine)
             snap = _stats_snapshot(engine.stats)

@@ -66,6 +66,7 @@ __all__ = [
     "BadRequestError",
     "UnknownJobError",
     "ServiceUnavailableError",
+    "UnauthorizedError",
     "LegacyPickleDisabledError",
     "encode_value",
     "decode_value",
@@ -136,6 +137,10 @@ class ServiceUnavailableError(ServiceError):
     """The service cannot make progress (envelope code ``unavailable``)."""
 
 
+class UnauthorizedError(ServiceError):
+    """The bearer token was missing or wrong (envelope code ``unauthorized``)."""
+
+
 class LegacyPickleDisabledError(ServiceError):
     """The deprecated pickle endpoint is off (envelope code ``legacy_pickle_disabled``)."""
 
@@ -145,6 +150,7 @@ _CODE_EXCEPTIONS: dict[str, type[ServiceError]] = {
     "bad_request": BadRequestError,
     "unknown_job": UnknownJobError,
     "unavailable": ServiceUnavailableError,
+    "unauthorized": UnauthorizedError,
     "legacy_pickle_disabled": LegacyPickleDisabledError,
 }
 

@@ -1,0 +1,521 @@
+"""Leader/worker cluster: routing, membership, failover, auth, wire docs.
+
+The load-bearing assertions mirror the PR's acceptance gates on small
+substrates: cluster answers agree with the single-host reference to 1e-10,
+each fingerprint's factor state lives on exactly one worker host
+(exactly-once attribution summed across the cluster), a worker dying
+mid-stream loses zero accepted jobs (the leader re-routes its fingerprints
+to a survivor), and the bearer token guards both the public ``/v1``
+surface and the intra-cluster RPCs.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.cluster import (
+    ClusterLeader,
+    ClusterWorker,
+    FingerprintRouter,
+    HostRegistry,
+    NoWorkersError,
+)
+from repro.cluster.protocol import (
+    completion_doc,
+    completion_from_wire,
+    heartbeat_doc,
+    heartbeat_from_wire,
+    register_doc,
+    register_from_wire,
+)
+from repro.service import (
+    JobRequest,
+    QueueSaturatedError,
+    ResultStore,
+    Scheduler,
+    ServiceClient,
+    UnauthorizedError,
+    WireFormatError,
+)
+from repro.service.result_store import fingerprint_digest
+from repro.service.wire import request_from_wire, request_to_wire
+from repro.substrate.parallel import SolverSpec
+
+
+# ------------------------------------------------------------------- fixtures
+@pytest.fixture(scope="module")
+def small_layout():
+    from repro import regular_grid
+
+    return regular_grid(n_side=3, size=128.0, fill=0.5)
+
+
+@pytest.fixture(scope="module")
+def small_g(small_layout):
+    from repro import EigenfunctionSolver, SubstrateProfile, extract_dense
+
+    profile = SubstrateProfile.two_layer_example(size=128.0, resistive_bottom=True)
+    solver = EigenfunctionSolver(small_layout, profile, max_panels=32, rtol=1e-10)
+    return extract_dense(solver, symmetrize=True)
+
+
+@pytest.fixture(scope="module")
+def spec_a(small_g, small_layout):
+    return SolverSpec.dense(small_g, small_layout)
+
+
+@pytest.fixture(scope="module")
+def spec_b(small_g, small_layout):
+    # a different matrix is a different substrate: distinct fingerprint
+    return SolverSpec.dense(1.5 * small_g, small_layout)
+
+
+def _worker_attribution(*workers) -> int:
+    return sum(int(w.scheduler.stats()["attributed_solves"]) for w in workers)
+
+
+# ----------------------------------------------------------------- wire docs
+def test_register_doc_round_trip():
+    worker_id, url = register_from_wire(register_doc("w-1", "http://h:1234/"))
+    assert (worker_id, url) == ("w-1", "http://h:1234")
+    with pytest.raises(WireFormatError):
+        register_from_wire({"worker_id": "w-1", "url": "x"})  # no version
+    with pytest.raises(WireFormatError):
+        register_from_wire(register_doc("", "http://h:1"))
+
+
+def test_heartbeat_doc_round_trip(spec_a):
+    with Scheduler(n_workers=1, autostart=False) as scheduler:
+        scheduler.submit(JobRequest(spec_a, columns=(0, 1)))
+        scheduler.step()
+        doc = heartbeat_doc("w-7", scheduler, draining=True)
+        heartbeat = heartbeat_from_wire(doc)
+    assert heartbeat["worker_id"] == "w-7"
+    assert heartbeat["draining"] is True
+    assert heartbeat["attributed_solves"] == 2
+    assert heartbeat["store_columns"] == 2
+    assert heartbeat["store_bytes"] > 0
+    digests = [entry["digest"] for entry in heartbeat["fingerprints"]]
+    assert digests == [fingerprint_digest(spec_a.fingerprint)]
+
+
+def test_completion_doc_round_trip_is_exact():
+    rng = np.random.default_rng(7)
+    block = rng.standard_normal((9, 3))
+    doc = completion_doc("w-1", "job-000001", (2, 5, 7), block, 3)
+    out = completion_from_wire(doc)
+    assert out["worker_id"] == "w-1"
+    assert out["job_id"] == "job-000001"
+    assert out["columns"] == (2, 5, 7)
+    assert out["attributed_solves"] == 3
+    # base64 float64 wire arrays are bit-exact, not merely close
+    assert np.array_equal(out["block"], block)
+    bad = dict(doc)
+    bad["columns"] = [2, 5]
+    with pytest.raises(WireFormatError):
+        completion_from_wire(bad)
+
+
+def test_cluster_request_round_trip_preserves_fingerprint(spec_a):
+    request = JobRequest(spec_a, columns=(0, 3, 4))
+    decoded = request_from_wire(request_to_wire(request))
+    assert decoded.effective_spec.fingerprint == request.effective_spec.fingerprint
+    assert decoded.columns == request.columns
+
+
+# ------------------------------------------------------------------ registry
+def test_registry_lease_expiry_is_lazy():
+    registry = HostRegistry(lease_s=10.0)
+    registry.register("w-1", "http://h:1")
+    now = time.monotonic()
+    assert [h.worker_id for h in registry.live(now)] == ["w-1"]
+    # inside the lease: still live; past it: swept into the dead set on read
+    assert registry.live(now + 9.0)
+    assert registry.live(now + 11.0) == []
+    assert registry.dead() == {"w-1": "lease expired"}
+    assert registry.expirations == 1
+
+
+def test_registry_heartbeat_renews_and_unknown_asks_reregister():
+    registry = HostRegistry(lease_s=10.0)
+    registry.register("w-1", "http://h:1")
+    assert registry.heartbeat("w-1", {"queue_depth": 3}) is True
+    assert registry.get("w-1").queue_depth == 3
+    assert registry.heartbeat("w-9", {}) is False  # never registered
+    # a dead host's heartbeat is also refused until it re-registers
+    registry.mark_dead("w-1", "rpc failed")
+    assert registry.heartbeat("w-1", {}) is False
+    registry.register("w-1", "http://h:2")  # resurrect, possibly on a new port
+    assert registry.get("w-1").url == "http://h:2"
+    assert "w-1" not in registry.dead()
+
+
+def test_registry_drain_flag():
+    registry = HostRegistry(lease_s=10.0)
+    registry.register("w-1", "http://h:1")
+    assert registry.drain("w-1") is True
+    assert registry.get("w-1").draining is True
+    assert registry.drain("w-9") is False
+
+
+# -------------------------------------------------------------------- router
+def _static_registry(*worker_ids: str, lease_s: float = 1e9) -> HostRegistry:
+    registry = HostRegistry(lease_s=lease_s)
+    for worker_id in worker_ids:
+        registry.register(worker_id, f"http://{worker_id}:1")
+    return registry
+
+
+def test_router_is_sticky_and_spreads(spec_a):
+    registry = _static_registry("w-1", "w-2", "w-3")
+    router = FingerprintRouter(registry)
+    fingerprints = [("dense", ("fp", i), None, ()) for i in range(24)]
+    owners = {repr(fp): router.route(fp).worker_id for fp in fingerprints}
+    # sticky: every later route answers the same host
+    for fp in fingerprints:
+        assert router.route(fp).worker_id == owners[repr(fp)]
+    # consistent hashing spreads 24 fingerprints over all three hosts
+    assert len(set(owners.values())) == 3
+    assert router.info()["placements"] == 24
+    assert router.info()["reroutes"] == 0
+
+
+def test_router_pins_survive_new_host_but_move_on_death():
+    registry = _static_registry("w-1", "w-2")
+    router = FingerprintRouter(registry)
+    fingerprint = ("dense", ("fp", 0), None, ())
+    owner = router.route(fingerprint).worker_id
+    registry.register("w-3", "http://w-3:1")  # join: warm pins must not move
+    assert router.route(fingerprint).worker_id == owner
+    registry.mark_dead(owner, "rpc failed")  # death: pin must move
+    new_owner = router.route(fingerprint).worker_id
+    assert new_owner != owner
+    assert router.info()["reroutes"] == 1
+    # and the re-placed pin is sticky again
+    assert router.route(fingerprint).worker_id == new_owner
+
+
+def test_router_no_workers_and_draining():
+    registry = _static_registry("w-1")
+    router = FingerprintRouter(registry)
+    fingerprint = ("dense", ("fp", 0), None, ())
+    owner = router.route(fingerprint).worker_id
+    registry.drain("w-1")
+    # draining keeps its pinned fingerprints...
+    assert router.route(fingerprint).worker_id == owner
+    # ...but takes no new ones
+    with pytest.raises(NoWorkersError):
+        router.route(("dense", ("fp", 1), None, ()))
+    registry.mark_dead("w-1", "gone")
+    with pytest.raises(NoWorkersError):
+        router.route(fingerprint)
+
+
+def test_router_balances_small_pin_counts():
+    # 4 sticky fingerprints over 2 hosts must split 2/2 even when the raw
+    # ring would land them all on one arc — placement is the only load-
+    # balancing moment a sticky-pin router gets
+    registry = _static_registry("w-1", "w-2")
+    router = FingerprintRouter(registry)
+    for i in range(4):
+        router.route(("dense", ("balance", i), None, ()))
+    assert sorted(router.info()["pins_per_host"].values()) == [2, 2]
+
+
+def test_router_load_override_prefers_idle_host():
+    registry = _static_registry("w-1", "w-2")
+    router = FingerprintRouter(registry, load_skew=4)
+    # find a fingerprint whose ring candidate is w-1, then overload w-1
+    probe = next(
+        fp
+        for i in range(64)
+        if (fp := ("dense", ("probe", i), None, ()))
+        and router._place_locked(
+            fingerprint_digest(fp), registry.live()
+        ).worker_id == "w-1"
+    )
+    registry.heartbeat("w-1", {"queue_depth": 50})
+    registry.heartbeat("w-2", {"queue_depth": 0})
+    assert router.route(probe).worker_id == "w-2"
+    assert router.info()["load_overrides"] == 1
+
+
+# ------------------------------------------------------- remote-solver hook
+def test_scheduler_remote_solver_hook(spec_a, small_g):
+    calls: list[tuple] = []
+
+    def remote(fingerprint, spec, columns):
+        calls.append((fingerprint, columns))
+        return small_g[:, list(columns)]
+
+    with Scheduler(remote_solver=remote, autostart=False) as scheduler:
+        job_id = scheduler.submit(JobRequest(spec_a, columns=(0, 4)))
+        scheduler.step()
+        job = scheduler.result(job_id, wait_s=5.0)
+        stats = scheduler.stats()
+    assert np.allclose(job.result, small_g[:, [0, 4]], atol=1e-12)
+    assert calls == [(spec_a.fingerprint, (0, 4))]
+    assert stats["remote_columns_solved"] == 2
+    assert stats["attributed_solves"] == 0  # the leader never solves locally
+    assert stats["engines"]["built"] == 0  # ...and never builds an engine
+
+
+def test_scheduler_remote_solver_shape_mismatch_fails_group(spec_a):
+    def bad_remote(fingerprint, spec, columns):
+        return np.zeros((2, 1))
+
+    from repro.service import RetryPolicy
+
+    with Scheduler(
+        remote_solver=bad_remote,
+        autostart=False,
+        retry_policy=RetryPolicy(max_attempts=1),
+    ) as scheduler:
+        job_id = scheduler.submit(JobRequest(spec_a, columns=(0,)))
+        scheduler.step()
+        job = scheduler.result(job_id, wait_s=5.0)
+    assert job.status == "failed"
+    assert "shape" in (job.error or "")
+
+
+# ------------------------------------------------------------------- cluster
+def test_cluster_end_to_end_matches_single_host(spec_a, spec_b, small_g):
+    columns = (0, 2, 5, 8)
+    with Scheduler(n_workers=1) as reference:
+        ref_a = reference.result(
+            reference.submit(JobRequest(spec_a, columns=columns)), wait_s=30.0
+        ).result
+        ref_b = reference.result(
+            reference.submit(JobRequest(spec_b, columns=columns)), wait_s=30.0
+        ).result
+
+    with ClusterLeader(auth_token="token-1") as leader:
+        with (
+            ClusterWorker(
+                leader.url, n_workers=1, heartbeat_s=0.2, auth_token="token-1"
+            ) as w1,
+            ClusterWorker(
+                leader.url, n_workers=1, heartbeat_s=0.2, auth_token="token-1"
+            ) as w2,
+        ):
+            with ServiceClient(leader.url, auth_token="token-1") as client:
+                got_a = client.extract(JobRequest(spec_a, columns=columns))
+                got_b = client.extract(JobRequest(spec_b, columns=columns))
+                stats = client.stats()
+            assert np.allclose(got_a, ref_a, atol=1e-10)
+            assert np.allclose(got_b, ref_b, atol=1e-10)
+            # exactly-once attribution: each column solved on one host, once
+            assert _worker_attribution(w1, w2) == 2 * len(columns)
+            assert stats["remote_columns_solved"] == 2 * len(columns)
+            # repeating the extraction is served from the leader's store:
+            # no new RPC, no new attribution anywhere
+            rpc_before = stats["cluster"]["rpc_calls"]
+            with ServiceClient(leader.url, auth_token="token-1") as client:
+                again = client.extract(JobRequest(spec_a, columns=columns))
+                stats2 = client.stats()
+            assert np.array_equal(again, got_a)
+            assert stats2["cluster"]["rpc_calls"] == rpc_before
+            assert _worker_attribution(w1, w2) == 2 * len(columns)
+            # each fingerprint's warm state lives on exactly one host
+            owners = {}
+            for worker in (w1, w2):
+                for fp, _ in worker.scheduler.store.fingerprints().items():
+                    owners.setdefault(fingerprint_digest(fp), set()).add(
+                        worker.worker_id
+                    )
+            assert owners  # at least one fingerprint landed
+            assert all(len(hosts) == 1 for hosts in owners.values())
+
+
+def test_cluster_failover_reroutes_and_loses_nothing(spec_a, small_g):
+    with ClusterLeader() as leader:
+        w1 = ClusterWorker(leader.url, n_workers=1, heartbeat_s=0.2).start()
+        w2 = ClusterWorker(leader.url, n_workers=1, heartbeat_s=0.2).start()
+        try:
+            with ServiceClient(leader.url, timeout_s=60.0) as client:
+                first = client.extract(JobRequest(spec_a, columns=(0, 1)))
+                owner = next(iter(leader.router.pins().values()))
+                victim = w1 if w1.worker_id == owner else w2
+                survivor = w2 if victim is w1 else w1
+                victim.close()  # host death, while the fingerprint is pinned
+                # accepted after the death, must still complete: the retry
+                # path marks the host dead and re-pins on the survivor
+                second = client.extract(JobRequest(spec_a, columns=(2, 3)))
+                stats = client.stats()
+            assert np.allclose(first, small_g[:, [0, 1]], atol=1e-10)
+            assert np.allclose(second, small_g[:, [2, 3]], atol=1e-10)
+            assert stats["cluster"]["router"]["reroutes"] >= 1
+            assert victim.worker_id in stats["cluster"]["registry"]["dead"]
+            assert leader.router.pins() == {
+                fingerprint_digest(spec_a.fingerprint): survivor.worker_id
+            }
+            # the survivor did the re-routed solve
+            assert int(survivor.scheduler.stats()["attributed_solves"]) == 2
+        finally:
+            for worker in (w1, w2):
+                try:
+                    worker.close()
+                except Exception:
+                    pass
+
+
+def test_cluster_auth_guards_public_and_rpc_surfaces(spec_a):
+    with ClusterLeader(auth_token="hunter2") as leader:
+        with ClusterWorker(
+            leader.url, n_workers=1, heartbeat_s=0.2, auth_token="hunter2"
+        ) as worker:
+            # unauthenticated public client: typed 401
+            with ServiceClient(leader.url) as anonymous:
+                with pytest.raises(UnauthorizedError):
+                    anonymous.stats()
+                # the health probe stays open for load balancers
+                assert anonymous.healthz()["ok"] is True
+            # wrong token on the worker's RPC surface: 401 too
+            from repro.cluster.protocol import post_json
+
+            with pytest.raises(UnauthorizedError):
+                post_json(
+                    worker.url + "/v1/cluster/solve", {}, auth_token="wrong"
+                )
+            # authenticated end to end
+            with ServiceClient(leader.url, auth_token="hunter2") as client:
+                block = client.extract(JobRequest(spec_a, columns=(0,)))
+            assert block.shape[1] == 1
+
+
+def test_injected_rpc_send_failure_marks_dead_and_reroutes(spec_a, small_g):
+    from repro import faults
+
+    with ClusterLeader() as leader:
+        # long heartbeat: the evicted worker must not resurrect itself
+        # (heartbeat -> known:false -> re-register) before we assert
+        with (
+            ClusterWorker(leader.url, n_workers=1, heartbeat_s=30.0) as w1,
+            ClusterWorker(leader.url, n_workers=1, heartbeat_s=30.0) as w2,
+        ):
+            with faults.inject(
+                [
+                    {
+                        "site": "rpc.send",
+                        "action": "raise",
+                        "exception": "ConnectionError",
+                        "times": 1,
+                    }
+                ]
+            ):
+                with ServiceClient(leader.url, timeout_s=60.0) as client:
+                    block = client.extract(JobRequest(spec_a, columns=(0, 1)))
+            assert np.allclose(block, small_g[:, [0, 1]], atol=1e-10)
+            # the injected transport failure evicted one host and the retry
+            # re-routed the group onto the other
+            assert leader.registry.deaths == 1
+            assert leader.router.info()["reroutes"] == 1
+            survivors = {h.worker_id for h in leader.registry.live()}
+            assert len(survivors) == 1 and survivors < {w1.worker_id, w2.worker_id}
+
+
+def test_dropped_heartbeats_expire_lease_then_worker_recovers():
+    from repro import faults
+
+    with ClusterLeader(lease_s=0.5) as leader:
+        with ClusterWorker(leader.url, n_workers=1, heartbeat_s=0.1) as worker:
+            deadline = time.monotonic() + 5.0
+            while not leader.registry.live() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            assert leader.registry.live()
+            with faults.inject(
+                [{"site": "worker.heartbeat", "action": "drop", "times": None}]
+            ):
+                deadline = time.monotonic() + 5.0
+                while leader.registry.live() and time.monotonic() < deadline:
+                    time.sleep(0.05)
+                # a hung-but-listening host: its lease expires on read
+                assert leader.registry.live() == []
+                assert leader.registry.dead() == {worker.worker_id: "lease expired"}
+            # heartbeats resume, the leader answers known=false, the worker
+            # re-registers itself — no operator involved
+            deadline = time.monotonic() + 5.0
+            while not leader.registry.live() and time.monotonic() < deadline:
+                time.sleep(0.05)
+            assert [h.worker_id for h in leader.registry.live()] == [worker.worker_id]
+
+
+def test_worker_reregisters_after_leader_restart_forgets_it(spec_a):
+    with ClusterLeader(lease_s=30.0) as leader:
+        with ClusterWorker(leader.url, n_workers=1, heartbeat_s=0.1) as worker:
+            deadline = time.monotonic() + 5.0
+            while not leader.registry.live() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            # simulate a leader restart: membership gone, worker still up
+            leader.registry.mark_dead(worker.worker_id, "leader restarted")
+            deadline = time.monotonic() + 5.0
+            while not leader.registry.live() and time.monotonic() < deadline:
+                time.sleep(0.02)
+            live = [h.worker_id for h in leader.registry.live()]
+            assert live == [worker.worker_id]
+            assert worker.reregistrations >= 1
+
+
+# ------------------------------------------------------------ client retries
+def test_client_honors_retry_after_on_429(spec_a):
+    from repro.service import AsyncExtractionServer
+
+    scheduler = Scheduler(n_workers=1, autostart=False, max_queue_depth=1)
+    with AsyncExtractionServer(scheduler=scheduler) as server:
+        filler = scheduler.submit(JobRequest(spec_a, columns=(0,)))
+        # no retries: the saturated queue is a typed 429 immediately
+        with ServiceClient(server.url) as impatient:
+            with pytest.raises(QueueSaturatedError):
+                impatient.submit(JobRequest(spec_a, columns=(1,)))
+
+        drained = threading.Timer(0.3, scheduler.step)
+        drained.start()
+        try:
+            with ServiceClient(server.url, retries=5, retry_cap_s=0.2) as patient:
+                job_id = patient.submit(JobRequest(spec_a, columns=(1,)))
+            assert job_id
+        finally:
+            drained.join()
+        scheduler.step()
+        assert scheduler.result(filler, wait_s=5.0).status == "done"
+
+
+def test_client_rejects_negative_retries():
+    with pytest.raises(ValueError):
+        ServiceClient("http://127.0.0.1:1", retries=-1)
+
+
+# ------------------------------------------------- store fingerprint ledger
+def test_result_store_fingerprints_ledger(spec_a, spec_b):
+    store = ResultStore()
+    store.put(spec_a.fingerprint, 0, np.zeros(9))
+    store.put(spec_a.fingerprint, 1, np.zeros(9))
+    store.put(spec_b.fingerprint, 0, np.zeros(9))
+    ledger = store.fingerprints()
+    assert ledger[spec_a.fingerprint]["columns"] == 2
+    assert ledger[spec_b.fingerprint]["columns"] == 1
+    assert ledger[spec_a.fingerprint]["bytes"] == 2 * 9 * 8
+    info = store.info()
+    assert [e["columns"] for e in info["fingerprints"]] == [2, 1]  # by bytes desc
+    assert info["fingerprints"][0]["digest"] == fingerprint_digest(spec_a.fingerprint)
+
+
+def test_stats_expose_per_fingerprint_bytes(spec_a):
+    from repro.service import AsyncExtractionServer
+
+    with AsyncExtractionServer(n_workers=1) as server:
+        with ServiceClient(server.url) as client:
+            client.extract(JobRequest(spec_a, columns=(0, 1)))
+            stats = client.stats()
+    entries = stats["result_store"]["fingerprints"]
+    assert entries == [
+        {
+            "digest": fingerprint_digest(spec_a.fingerprint),
+            "columns": 2,
+            "bytes": 2 * 9 * 8,
+        }
+    ]
